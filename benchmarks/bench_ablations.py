@@ -1,0 +1,153 @@
+"""Ablations of the design choices called out in DESIGN.md / Sec. V.
+
+(a) exact MILP vs alternating-heuristic solver for the Bipartite Weight
+    Problem (LP2);
+(b) including vs excluding the single-instruction kernel in LPAUX;
+(c) the measurement tolerance ε;
+(d) the saturating-kernel multiplier L.
+
+Each ablation runs on the toy machine (or a tiny SKL-like machine) so the
+whole file stays within a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Microkernel, PortModelBackend, build_skylake_like_machine, build_small_isa, build_toy_machine
+from repro.palmed import Palmed, PalmedConfig
+from repro.palmed.basic_selection import select_basic_instructions
+from repro.palmed.benchmarks import BenchmarkRunner
+from repro.palmed.core_mapping import compute_core_mapping
+from repro.palmed.lp2_weights import WeightProblem, solve_weights_exact, solve_weights_heuristic
+from repro.palmed.quadratic import QuadraticBenchmarks
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def toy_core_problem():
+    """The LP2 instance of the toy machine, reused by the solver ablation."""
+    machine = build_toy_machine()
+    runner = BenchmarkRunner(PortModelBackend(machine), PalmedConfig())
+    quadratic = QuadraticBenchmarks(runner, machine.benchmarkable_instructions())
+    selection = select_basic_instructions(quadratic, PalmedConfig())
+    core = compute_core_mapping(runner, selection, PalmedConfig())
+    problem = WeightProblem(
+        observations=core.observations,
+        num_resources=core.num_resources,
+        free_edges=core.shape.edges,
+        frozen_rho={},
+    )
+    return problem
+
+
+def test_ablation_lp2_exact_vs_heuristic(toy_core_problem, benchmark):
+    """(a) The exact BWP solver never does worse than the alternating heuristic."""
+    config = PalmedConfig()
+    exact = solve_weights_exact(toy_core_problem, config)
+    heuristic = benchmark(lambda: solve_weights_heuristic(toy_core_problem, config))
+    write_result(
+        "ablation_lp2_solver.txt",
+        "=== LP2 solver ablation (toy machine) ===\n"
+        f"exact MILP     total error: {exact.total_error:.4f}\n"
+        f"alternating LP total error: {heuristic.total_error:.4f}\n",
+    )
+    assert exact.total_error <= heuristic.total_error + 1e-6
+
+
+@pytest.fixture(scope="module")
+def tiny_machine_backend():
+    isa = build_small_isa(20, seed=2)
+    machine = build_skylake_like_machine(isa=isa)
+    return machine, PortModelBackend(machine)
+
+
+def _pipeline_error(machine, backend, config, num_kernels: int = 60) -> float:
+    import math
+    import random
+
+    result = Palmed(backend, machine.benchmarkable_instructions(), config).run()
+    rng = random.Random(0)
+    supported = [i for i in machine.benchmarkable_instructions() if result.supports(i)]
+    errors = []
+    for _ in range(num_kernels):
+        kernel = Microkernel(
+            {rng.choice(supported): rng.randint(1, 3) for _ in range(rng.randint(2, 4))}
+        )
+        native = machine.true_ipc(kernel)
+        predicted = result.predict_ipc(kernel)
+        errors.append(((predicted - native) / native) ** 2)
+    return math.sqrt(sum(errors) / len(errors))
+
+
+def _fast_config(**overrides) -> PalmedConfig:
+    base = dict(
+        n_basic=None,
+        n_basic_cap=12,
+        max_resources=10,
+        lp1_max_iterations=1,
+        lp1_time_limit=10.0,
+        lp2_mode="exact",
+        milp_time_limit=30.0,
+    )
+    base.update(overrides)
+    return PalmedConfig(**base)
+
+
+def test_ablation_singleton_in_lpaux(tiny_machine_backend, benchmark):
+    """(b) Anchoring LPAUX with the single-instruction kernel helps accuracy."""
+    machine, backend = tiny_machine_backend
+    with_singleton = _pipeline_error(machine, backend, _fast_config(include_singleton_in_lpaux=True))
+    without_singleton = benchmark.pedantic(
+        lambda: _pipeline_error(machine, backend, _fast_config(include_singleton_in_lpaux=False)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_lpaux_singleton.txt",
+        "=== LPAUX singleton-kernel ablation (24-instruction SKL-like) ===\n"
+        f"with singleton    RMS error: {100 * with_singleton:.1f}%\n"
+        f"without singleton RMS error: {100 * without_singleton:.1f}%\n",
+    )
+    assert with_singleton <= without_singleton * 1.5
+
+
+def test_ablation_saturating_multiplier(tiny_machine_backend, benchmark):
+    """(d) A very small L weakens resource saturation and hurts accuracy."""
+    machine, backend = tiny_machine_backend
+    default_l = _pipeline_error(machine, backend, _fast_config(l_repeat=4))
+    small_l = benchmark.pedantic(
+        lambda: _pipeline_error(machine, backend, _fast_config(l_repeat=1)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_l_multiplier.txt",
+        "=== Saturating-kernel multiplier ablation (24-instruction SKL-like) ===\n"
+        f"L = 4 (paper): RMS error {100 * default_l:.1f}%\n"
+        f"L = 1        : RMS error {100 * small_l:.1f}%\n",
+    )
+    # L=4 should not be significantly worse than L=1.
+    assert default_l <= small_l * 1.25
+
+
+def test_ablation_epsilon_tolerance(tiny_machine_backend, benchmark):
+    """(c) A looser measurement tolerance coarsens the equivalence classes."""
+    machine, backend = tiny_machine_backend
+    runner = BenchmarkRunner(backend, PalmedConfig())
+    quadratic = QuadraticBenchmarks(runner, machine.benchmarkable_instructions())
+
+    def classes_for(eps: float) -> int:
+        config = PalmedConfig(epsilon=eps, cluster_tolerance=eps)
+        return select_basic_instructions(quadratic, config).num_classes
+
+    tight = classes_for(0.01)
+    loose = benchmark(lambda: classes_for(0.25))
+    write_result(
+        "ablation_epsilon.txt",
+        "=== Measurement tolerance ablation ===\n"
+        f"epsilon = 0.01: {tight} equivalence classes\n"
+        f"epsilon = 0.25: {loose} equivalence classes\n",
+    )
+    assert loose <= tight

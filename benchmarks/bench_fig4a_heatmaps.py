@@ -1,0 +1,60 @@
+"""Fig. 4a — IPC prediction profile heatmaps.
+
+For every tool on the SKL-like machine, regenerates the predicted/native
+IPC-ratio density against native IPC (rendered as ASCII in
+``benchmarks/results/fig4a_heatmaps.txt``) and checks the qualitative shape:
+a perfect tool concentrates its mass on the ratio-1 line, the port-only
+oracle drifts above it (over-estimation), PMEvo scatters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_heatmap, evaluate_predictors
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def skl_spec_evaluation(skl_backend, skl_predictors, spec_suite):
+    return evaluate_predictors(skl_backend, spec_suite, skl_predictors, machine_name="SKL-like")
+
+
+def test_fig4a_heatmap_report(skl_spec_evaluation, benchmark):
+    """Regenerate the heatmaps (ASCII rendering) for every tool."""
+    heatmaps = benchmark(
+        lambda: {
+            tool: build_heatmap(skl_spec_evaluation, tool, x_bins=16, y_bins=12)
+            for tool in skl_spec_evaluation.tools
+        }
+    )
+    lines = ["=== Fig. 4a — predicted/native IPC ratio profiles (SKL-like, SPEC-like) ===", ""]
+    for tool, heatmap in heatmaps.items():
+        lines.append(f"--- {tool} ---")
+        lines.append(
+            f"mean ratio {heatmap.mean_ratio():.2f}, "
+            f"mass within ±10% of native: {100 * heatmap.mass_within():.1f}%"
+        )
+        lines.append("(Y: ratio 0..2 bottom-to-top, X: native IPC 0..max)")
+        lines.append(heatmap.render_ascii(width=16, height=12))
+        lines.append("")
+    write_result("fig4a_heatmaps.txt", "\n".join(lines))
+    assert set(heatmaps) == set(skl_spec_evaluation.tools)
+
+
+def test_palmed_mass_concentrates_near_ratio_one(skl_spec_evaluation, benchmark):
+    heatmap = benchmark(lambda: build_heatmap(skl_spec_evaluation, "Palmed"))
+    assert heatmap.mass_within(0.75, 1.25) > 0.5
+
+
+def test_port_oracle_overestimates_on_average(skl_spec_evaluation, benchmark):
+    """uops.info-like predictions sit above the ratio-1 line (Sec. VI discussion)."""
+    heatmap = benchmark(lambda: build_heatmap(skl_spec_evaluation, "uops.info"))
+    assert heatmap.mean_ratio() > 1.05
+
+
+def test_pmevo_is_least_concentrated(skl_spec_evaluation, benchmark):
+    pmevo = benchmark(lambda: build_heatmap(skl_spec_evaluation, "PMEvo"))
+    iaca = build_heatmap(skl_spec_evaluation, "IACA")
+    assert pmevo.mass_within(0.9, 1.1) <= iaca.mass_within(0.9, 1.1) + 1e-9

@@ -1,0 +1,93 @@
+"""Scalability — benchmark count and solving effort vs ISA size (Table II discussion).
+
+The paper's scalability argument: PALMED's benchmark count grows
+quadratically with the number of instructions during selection and linearly
+during the complete-mapping phase, whereas exhaustive approaches are
+combinatorial and PMEvo's training set over pairs of *all* instructions
+grows quadratically with no trimming.  This bench measures the number of
+generated microbenchmarks and the throughput-measurement cost for increasing
+ISA sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PortModelBackend, build_skylake_like_machine, build_small_isa
+from repro.palmed import PalmedConfig
+from repro.palmed.benchmarks import BenchmarkRunner
+from repro.palmed.quadratic import QuadraticBenchmarks
+
+from conftest import write_result
+
+ISA_SIZES = (12, 24, 36, 48)
+
+
+def _quadratic_count(size: int) -> tuple[int, int]:
+    isa = build_small_isa(size, seed=0)
+    machine = build_skylake_like_machine(isa=isa)
+    backend = PortModelBackend(machine)
+    runner = BenchmarkRunner(backend, PalmedConfig())
+    QuadraticBenchmarks(runner, machine.benchmarkable_instructions())
+    return len(machine.benchmarkable_instructions()), backend.measurement_count
+
+
+def test_quadratic_benchmark_growth(benchmark):
+    """Measure how the selection-phase benchmark count grows with the ISA."""
+    counts = {}
+    for size in ISA_SIZES[:-1]:
+        counts[size] = _quadratic_count(size)
+    counts[ISA_SIZES[-1]] = benchmark(lambda: _quadratic_count(ISA_SIZES[-1]))
+
+    lines = ["=== Selection-phase (quadratic) benchmark growth ===",
+             f"{'ISA size':>10} {'benchmarkable':>14} {'microbenchmarks':>16}"]
+    for size, (benchmarkable, measured) in counts.items():
+        lines.append(f"{size:>10} {benchmarkable:>14} {measured:>16}")
+    lines.append("")
+    lines.append("Growth is ~n^2/2 (pair benchmarks), matching the paper's "
+                 "'quadratic benchmarks' stage; the LP stages do not grow with n.")
+    write_result("scalability_quadratic.txt", "\n".join(lines))
+
+    sizes = sorted(counts)
+    smallest, largest = counts[sizes[0]][1], counts[sizes[-1]][1]
+    ratio = largest / smallest
+    size_ratio = (counts[sizes[-1]][0] / counts[sizes[0]][0]) ** 2
+    # Quadratic growth: the benchmark count ratio tracks the squared size ratio.
+    assert 0.3 * size_ratio <= ratio <= 3.0 * size_ratio
+
+
+def test_measurement_throughput(benchmark, skl_backend, skl_machine):
+    """Raw speed of the measurement substrate (kernels measured per second)."""
+    from repro import Microkernel
+    import random
+
+    rng = random.Random(0)
+    instructions = skl_machine.benchmarkable_instructions()
+    kernels = [
+        Microkernel({rng.choice(instructions): rng.randint(1, 4) for _ in range(3)})
+        for _ in range(200)
+    ]
+
+    def measure_all():
+        return [skl_backend.ipc(kernel) for kernel in kernels]
+
+    values = benchmark(measure_all)
+    assert len(values) == len(kernels)
+
+
+def test_lpaux_cost_is_per_instruction_constant(benchmark, skl_palmed, skl_backend):
+    """The complete-mapping phase costs O(1) LPs per instruction (linear overall)."""
+    from repro.palmed.complete_mapping import map_single_instruction
+    from repro.palmed.benchmarks import BenchmarkRunner
+
+    config = PalmedConfig()
+    runner = BenchmarkRunner(skl_backend, config)
+    unmapped_pool = [
+        inst for inst in skl_palmed.mapping.instructions
+        if inst not in set(skl_palmed.selection.basic)
+    ]
+    instruction = unmapped_pool[0]
+    rho = benchmark(
+        lambda: map_single_instruction(runner, instruction, skl_palmed.core, config)
+    )
+    assert isinstance(rho, dict)

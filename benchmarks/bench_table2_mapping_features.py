@@ -1,0 +1,76 @@
+"""Table II — main features of the obtained mappings.
+
+Regenerates, for the SKL-like and Zen1-like machines, the statistics the
+paper reports in Table II: benchmarking time, LP solving time, number of
+generated microbenchmarks, number of abstract resources found, number of
+instructions supported and mapped.  Absolute values are smaller than the
+paper's (tens of instructions instead of thousands, seconds instead of
+hours); EXPERIMENTS.md discusses the scale substitution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Microkernel
+
+from conftest import write_result
+from repro.evaluation import format_table2_comparison
+
+
+def _measured_features(result) -> dict:
+    stats = result.stats
+    return {
+        "Benchmarking time": f"{stats.benchmarking_time:.1f}s",
+        "LP solving time": f"{stats.lp_time:.1f}s",
+        "Overall time": f"{stats.total_time:.1f}s",
+        "Gen. microbenchmarks": stats.num_benchmarks,
+        "Resources found": stats.num_resources,
+        "uops' inst. supported": stats.num_benchmarkable,
+        "Instructions mapped": stats.num_instructions_mapped,
+    }
+
+
+def test_table2_skl(skl_palmed, benchmark):
+    """Table II, SKL-SP column (scaled down)."""
+    kernel = Microkernel(
+        {inst: 1.0 for inst in skl_palmed.mapping.instructions[:6]}
+    )
+    benchmark(lambda: skl_palmed.predict_ipc(kernel))
+    report = "\n".join(
+        [
+            "=== Table II (SKL) — paper vs reproduction ===",
+            format_table2_comparison(_measured_features(skl_palmed), "SKL-SP"),
+            "",
+            skl_palmed.stats.format_table(),
+        ]
+    )
+    write_result("table2_skl.txt", report)
+    assert skl_palmed.stats.num_resources >= 5
+    assert skl_palmed.stats.num_instructions_mapped > 0
+
+
+def test_table2_zen(zen_palmed, benchmark):
+    """Table II, Zen1 column (scaled down)."""
+    kernel = Microkernel(
+        {inst: 1.0 for inst in zen_palmed.mapping.instructions[:6]}
+    )
+    benchmark(lambda: zen_palmed.predict_ipc(kernel))
+    report = "\n".join(
+        [
+            "=== Table II (ZEN1) — paper vs reproduction ===",
+            format_table2_comparison(_measured_features(zen_palmed), "ZEN1"),
+            "",
+            zen_palmed.stats.format_table(),
+        ]
+    )
+    write_result("table2_zen.txt", report)
+    assert zen_palmed.stats.num_resources >= 5
+    assert zen_palmed.stats.num_instructions_mapped > 0
+
+
+def test_benchmark_count_scales_sub_combinatorially(skl_palmed, skl_machine, benchmark):
+    """The paper's scalability claim: benchmarks grow ~quadratically, not combinatorially."""
+    benchmark(lambda: skl_palmed.stats.num_benchmarks)
+    n = len(skl_machine.benchmarkable_instructions())
+    assert skl_palmed.stats.num_benchmarks <= 3 * n * n

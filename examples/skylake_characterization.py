@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Characterize a Skylake-like machine and evaluate prediction accuracy.
+
+This is a scaled-down version of the paper's SKL-SP experiment:
+
+* build a Skylake-like machine over a synthetic ISA (unified scheduler,
+  4-wide front-end, non-pipelined dividers);
+* run PALMED to infer its resource mapping from cycle measurements only;
+* evaluate the inferred mapping against the uops.info-like port-mapping
+  oracle and the llvm-mca-like expert model on a SPEC-like basic-block
+  suite, reporting the coverage / RMS error / Kendall's τ columns of
+  Fig. 4b.
+
+Run with:  python examples/skylake_characterization.py [--instructions N]
+(N defaults to 60 to keep the example under a couple of minutes.)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import PortModelBackend, build_skylake_like_machine, build_small_isa
+from repro.evaluation import evaluate_predictors, format_accuracy_table, format_comparison_with_paper
+from repro.palmed import Palmed, PalmedConfig
+from repro.predictors import LlvmMcaPredictor, PalmedPredictor, UopsInfoPredictor
+from repro.workloads import generate_spec_like_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=60,
+                        help="size of the synthetic ISA (default: 60)")
+    parser.add_argument("--blocks", type=int, default=150,
+                        help="number of SPEC-like basic blocks (default: 150)")
+    args = parser.parse_args()
+
+    isa = build_small_isa(args.instructions, seed=0)
+    machine = build_skylake_like_machine(isa=isa)
+    backend = PortModelBackend(machine)
+    print(machine.summary())
+    print()
+
+    print("Running PALMED (this is the LP-heavy part)...")
+    result = Palmed(backend, machine.benchmarkable_instructions(), PalmedConfig()).run()
+    print(result.stats.format_table())
+    print()
+
+    suite = generate_spec_like_suite(machine.instructions, n_blocks=args.blocks, seed=0)
+    print(suite.summary())
+    predictors = [
+        PalmedPredictor(result),
+        UopsInfoPredictor(machine),
+        LlvmMcaPredictor(machine),
+    ]
+    evaluation = evaluate_predictors(backend, suite, predictors, machine_name=machine.name)
+
+    print()
+    print("=== Accuracy (Fig. 4b analogue, SKL-like / SPEC-like) ===")
+    print(format_accuracy_table([evaluation]))
+    print()
+    print("Comparison with the paper's SKL-SP / SPEC2017 row:")
+    for metrics in evaluation.all_metrics():
+        print(" ", format_comparison_with_paper(metrics, "SKL-SP", "SPEC2017"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments lacking the ``wheel`` package (legacy editable installs
+via ``--no-use-pep517`` need a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

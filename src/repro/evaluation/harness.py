@@ -1,0 +1,131 @@
+"""The tool-comparison harness producing the rows of Fig. 4b.
+
+For every basic block of a suite the harness measures the native IPC of the
+corresponding microkernel on the machine backend, queries every predictor,
+and aggregates the per-tool coverage, weighted RMS error and Kendall's τ —
+exactly the three columns reported per (machine, suite, tool) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.predictors.base import Prediction, Predictor
+from repro.evaluation.metrics import coverage as coverage_metric
+from repro.evaluation.metrics import kendall_tau, rms_error
+from repro.simulator.backend import MeasurementBackend
+from repro.workloads.basic_block import BasicBlock, BenchmarkSuite
+
+
+@dataclass
+class BlockRecord:
+    """Native measurement and per-tool predictions for one basic block."""
+
+    block: BasicBlock
+    native_ipc: float
+    predictions: Dict[str, Prediction] = field(default_factory=dict)
+
+    def ratio(self, tool: str) -> Optional[float]:
+        """Predicted/native IPC ratio for one tool (None if unsupported)."""
+        prediction = self.predictions.get(tool)
+        if prediction is None or prediction.ipc is None or self.native_ipc <= 0:
+            return None
+        return prediction.ipc / self.native_ipc
+
+
+@dataclass
+class ToolMetrics:
+    """Aggregated accuracy of one tool over one suite (a cell group of Fig. 4b)."""
+
+    tool: str
+    coverage: float
+    rms_error: float
+    kendall_tau: float
+    num_blocks: int
+    num_processed: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "coverage_percent": 100.0 * self.coverage,
+            "rms_error_percent": 100.0 * self.rms_error,
+            "kendall_tau": self.kendall_tau,
+        }
+
+
+@dataclass
+class EvaluationResult:
+    """All records plus per-tool aggregated metrics for one (machine, suite) pair."""
+
+    machine_name: str
+    suite_name: str
+    records: List[BlockRecord]
+    tools: List[str]
+
+    def metrics(self, tool: str) -> ToolMetrics:
+        """Aggregate coverage / error / correlation for one tool."""
+        processed_records = [
+            record
+            for record in self.records
+            if record.predictions.get(tool) is not None
+            and record.predictions[tool].ipc is not None
+        ]
+        predicted = [record.predictions[tool].ipc for record in processed_records]
+        native = [record.native_ipc for record in processed_records]
+        weights = [record.block.weight for record in processed_records]
+        if processed_records:
+            error = rms_error(predicted, native, weights)
+            tau = kendall_tau(predicted, native) if len(processed_records) >= 2 else 0.0
+        else:
+            error = float("nan")
+            tau = float("nan")
+        return ToolMetrics(
+            tool=tool,
+            coverage=coverage_metric(len(processed_records), len(self.records)),
+            rms_error=error,
+            kendall_tau=tau,
+            num_blocks=len(self.records),
+            num_processed=len(processed_records),
+        )
+
+    def all_metrics(self) -> List[ToolMetrics]:
+        return [self.metrics(tool) for tool in self.tools]
+
+    def ratios(self, tool: str) -> List[float]:
+        """Predicted/native ratios of every processed block (heatmap input)."""
+        values = []
+        for record in self.records:
+            ratio = record.ratio(tool)
+            if ratio is not None:
+                values.append(ratio)
+        return values
+
+
+def evaluate_predictors(
+    backend: MeasurementBackend,
+    suite: BenchmarkSuite,
+    predictors: Sequence[Predictor],
+    machine_name: str = "",
+) -> EvaluationResult:
+    """Run every predictor on every block of a suite against native execution.
+
+    Blocks whose native IPC cannot be measured (e.g. they contain an
+    instruction the machine does not implement) are skipped, mirroring the
+    paper's restriction to the blocks its back-end can generate.
+    """
+    records: List[BlockRecord] = []
+    for block in suite:
+        try:
+            native_ipc = backend.ipc(block.kernel)
+        except KeyError:
+            continue
+        record = BlockRecord(block=block, native_ipc=native_ipc)
+        for predictor in predictors:
+            record.predictions[predictor.name] = predictor.predict(block.kernel)
+        records.append(record)
+    return EvaluationResult(
+        machine_name=machine_name or getattr(getattr(backend, "machine", None), "name", ""),
+        suite_name=suite.name,
+        records=records,
+        tools=[predictor.name for predictor in predictors],
+    )

@@ -1,0 +1,102 @@
+"""IPC-prediction profile heatmaps (Fig. 4a of the paper).
+
+Fig. 4a plots, for each tool, a two-dimensional density: native IPC on the
+X axis, predicted/native IPC ratio on the Y axis, weighted by basic-block
+execution count.  A perfect tool concentrates all mass on the ``ratio = 1``
+line; port-only tools drift above it (over-estimation), benchmark-based
+tools scatter on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.harness import EvaluationResult
+
+
+@dataclass
+class Heatmap:
+    """A binned 2-D histogram of (native IPC, predicted/native ratio) pairs."""
+
+    tool: str
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.counts.sum())
+
+    def normalized(self) -> np.ndarray:
+        """Counts normalized so each X column sums to 1 (column-wise density)."""
+        column_sums = self.counts.sum(axis=0, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            density = np.where(column_sums > 0, self.counts / column_sums, 0.0)
+        return density
+
+    def mass_within(self, lower: float = 0.9, upper: float = 1.1) -> float:
+        """Fraction of the weight whose ratio falls inside ``[lower, upper]``."""
+        if self.total_weight == 0:
+            return 0.0
+        centers = 0.5 * (self.y_edges[:-1] + self.y_edges[1:])
+        mask = (centers >= lower) & (centers <= upper)
+        return float(self.counts[mask, :].sum() / self.total_weight)
+
+    def mean_ratio(self) -> float:
+        """Weighted mean predicted/native ratio (>1 means over-estimation)."""
+        if self.total_weight == 0:
+            return float("nan")
+        centers = 0.5 * (self.y_edges[:-1] + self.y_edges[1:])
+        return float((self.counts.sum(axis=1) * centers).sum() / self.total_weight)
+
+    def render_ascii(self, width: int = 40, height: int = 12) -> str:
+        """A coarse ASCII rendering, darkest character = highest density."""
+        density = self.normalized()
+        if density.size == 0:
+            return "(empty heatmap)"
+        shades = " .:-=+*#%@"
+        rows: List[str] = []
+        y_bins, x_bins = density.shape
+        for yi in reversed(range(y_bins)):
+            row = []
+            for xi in range(x_bins):
+                level = min(len(shades) - 1, int(density[yi, xi] * (len(shades) - 1) + 0.5))
+                row.append(shades[level])
+            rows.append("".join(row))
+        return "\n".join(rows)
+
+
+def build_heatmap(
+    result: EvaluationResult,
+    tool: str,
+    x_bins: int = 24,
+    y_bins: int = 24,
+    max_ipc: Optional[float] = None,
+    max_ratio: float = 2.0,
+) -> Heatmap:
+    """Build the Fig. 4a heatmap of one tool from an evaluation result."""
+    natives: List[float] = []
+    ratios: List[float] = []
+    weights: List[float] = []
+    for record in result.records:
+        ratio = record.ratio(tool)
+        if ratio is None:
+            continue
+        natives.append(record.native_ipc)
+        ratios.append(min(ratio, max_ratio))
+        weights.append(record.block.weight)
+
+    if max_ipc is None:
+        max_ipc = max(natives) if natives else 1.0
+    x_edges = np.linspace(0.0, max(max_ipc, 1e-9), x_bins + 1)
+    y_edges = np.linspace(0.0, max_ratio, y_bins + 1)
+    if natives:
+        counts, _, _ = np.histogram2d(
+            ratios, natives, bins=(y_edges, x_edges), weights=weights
+        )
+    else:
+        counts = np.zeros((y_bins, x_bins))
+    return Heatmap(tool=tool, x_edges=x_edges, y_edges=y_edges, counts=counts)

@@ -1,0 +1,115 @@
+"""Plain-text rendering of the evaluation tables.
+
+The benchmark harness prints these tables so that each bench regenerates the
+corresponding paper artifact (Fig. 4b rows, Table II) in a directly
+comparable textual form; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.evaluation.harness import EvaluationResult, ToolMetrics
+
+#: Reference values of Fig. 4b of the paper (coverage %, RMS error %, Kendall τ),
+#: keyed by (machine, suite, tool).  ``None`` marks the paper's N/A cells.
+PAPER_FIG4B: Dict[tuple, Optional[tuple]] = {
+    ("SKL-SP", "SPEC2017", "Palmed"): (None, 7.8, 0.90),
+    ("SKL-SP", "SPEC2017", "uops.info"): (99.9, 40.3, 0.71),
+    ("SKL-SP", "SPEC2017", "PMEvo"): (71.3, 28.1, 0.47),
+    ("SKL-SP", "SPEC2017", "IACA"): (100.0, 8.7, 0.80),
+    ("SKL-SP", "SPEC2017", "llvm-mca"): (96.8, 20.1, 0.73),
+    ("SKL-SP", "Polybench", "Palmed"): (None, 24.4, 0.78),
+    ("SKL-SP", "Polybench", "uops.info"): (100.0, 68.1, 0.29),
+    ("SKL-SP", "Polybench", "PMEvo"): (66.8, 46.7, 0.14),
+    ("SKL-SP", "Polybench", "IACA"): (100.0, 15.1, 0.67),
+    ("SKL-SP", "Polybench", "llvm-mca"): (99.5, 15.3, 0.65),
+    ("ZEN1", "SPEC2017", "Palmed"): (None, 29.9, 0.68),
+    ("ZEN1", "SPEC2017", "PMEvo"): (71.3, 36.5, 0.43),
+    ("ZEN1", "SPEC2017", "llvm-mca"): (96.8, 33.4, 0.75),
+    ("ZEN1", "Polybench", "Palmed"): (None, 32.6, 0.46),
+    ("ZEN1", "Polybench", "PMEvo"): (66.8, 38.5, 0.11),
+    ("ZEN1", "Polybench", "llvm-mca"): (99.5, 28.6, 0.40),
+}
+
+#: Reference values of Table II of the paper.
+PAPER_TABLE2: Dict[str, Dict[str, object]] = {
+    "SKL-SP": {
+        "Benchmarking time": "8h",
+        "LP solving time": "2h",
+        "Overall time": "10h",
+        "Gen. microbenchmarks": "~1,000,000",
+        "Resources found": 17,
+        "uops' inst. supported": 3313,
+        "Instructions mapped": 2586,
+    },
+    "ZEN1": {
+        "Benchmarking time": "6h",
+        "LP solving time": "2h",
+        "Overall time": "8h",
+        "Gen. microbenchmarks": "~1,000,000",
+        "Resources found": 17,
+        "uops' inst. supported": 1104,
+        "Instructions mapped": 2596,
+    },
+}
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_accuracy_table(results: Iterable[EvaluationResult]) -> str:
+    """Render Fig. 4b-style rows: one line per (machine, suite, tool)."""
+    header = ["Machine", "Suite", "Tool", "Cov. (%)", "Err. (%)", "Kendall tau"]
+    rows: List[List[str]] = [header]
+    for result in results:
+        for metrics in result.all_metrics():
+            rows.append(
+                [
+                    result.machine_name,
+                    result.suite_name,
+                    metrics.tool,
+                    f"{100.0 * metrics.coverage:.1f}",
+                    f"{100.0 * metrics.rms_error:.1f}",
+                    f"{metrics.kendall_tau:.2f}",
+                ]
+            )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [_format_row(row, widths) for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def format_comparison_with_paper(
+    metrics: ToolMetrics,
+    machine_key: str,
+    suite_key: str,
+) -> str:
+    """One-line comparison of measured metrics against the paper's Fig. 4b cell."""
+    reference = PAPER_FIG4B.get((machine_key, suite_key, metrics.tool))
+    measured = (
+        f"measured: cov {100.0 * metrics.coverage:.1f}%  "
+        f"err {100.0 * metrics.rms_error:.1f}%  tau {metrics.kendall_tau:.2f}"
+    )
+    if reference is None:
+        return f"{metrics.tool:10s} {measured}   paper: (not reported)"
+    cov, err, tau = reference
+    cov_text = "N/A" if cov is None else f"{cov:.1f}%"
+    return (
+        f"{metrics.tool:10s} {measured}   "
+        f"paper: cov {cov_text}  err {err:.1f}%  tau {tau:.2f}"
+    )
+
+
+def format_table2_comparison(measured: Mapping[str, object], machine_key: str) -> str:
+    """Side-by-side Table II comparison (paper's scale vs the reproduction's)."""
+    paper = PAPER_TABLE2.get(machine_key, {})
+    keys = list(dict.fromkeys(list(paper.keys()) + list(measured.keys())))
+    width = max((len(key) for key in keys), default=10)
+    lines = [f"{'feature'.ljust(width)}  {'paper':>15}  {'reproduction':>15}"]
+    for key in keys:
+        paper_value = str(paper.get(key, "-"))
+        measured_value = str(measured.get(key, "-"))
+        lines.append(f"{key.ljust(width)}  {paper_value:>15}  {measured_value:>15}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Synthetic instruction-set substrate.
+
+The paper characterizes thousands of x86 instructions enumerated through
+Intel XED.  Without access to real hardware, the reproduction uses a
+parameterized synthetic ISA whose instructions carry the *semantic* features
+the PALMED algorithms care about: an execution-unit kind (integer ALU,
+FP add, divide, load, store, branch, ...), a vector extension class
+(base / SSE-like / AVX-like), an operand width and a variant index that
+machine models use to diversify port assignments.
+
+Public API
+----------
+``Instruction``, ``InstructionKind``, ``Extension``
+    Instruction descriptors.
+``IsaGenerator``, ``build_default_isa``, ``build_small_isa``
+    Deterministic ISA construction.
+"""
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.isa.generator import (
+    IsaGenerator,
+    benchmarkable,
+    build_default_isa,
+    build_small_isa,
+)
+
+__all__ = [
+    "Extension",
+    "Instruction",
+    "InstructionKind",
+    "IsaGenerator",
+    "benchmarkable",
+    "build_default_isa",
+    "build_small_isa",
+]

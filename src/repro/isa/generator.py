@@ -1,0 +1,322 @@
+"""Deterministic construction of synthetic ISAs.
+
+The generator emits instructions grouped by :class:`InstructionKind`, with
+realistic mnemonic families, widths and register/immediate variants.  The
+output order and content are fully determined by the requested size and the
+seed, so every experiment in the repository is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+
+# Mnemonic families per kind.  Each entry is (base mnemonic, extension).
+# The generator derives concrete instructions by appending width/variant
+# suffixes, mimicking how x86 spells out ADD r32, ADD r64, VADDPS xmm, ...
+_FAMILIES: Dict[InstructionKind, List[tuple[str, Extension]]] = {
+    InstructionKind.INT_ALU: [
+        ("ADD", Extension.BASE),
+        ("SUB", Extension.BASE),
+        ("AND", Extension.BASE),
+        ("OR", Extension.BASE),
+        ("XOR", Extension.BASE),
+        ("CMP", Extension.BASE),
+        ("TEST", Extension.BASE),
+        ("INC", Extension.BASE),
+        ("DEC", Extension.BASE),
+        ("NEG", Extension.BASE),
+        ("NOT", Extension.BASE),
+        ("ADC", Extension.BASE),
+        ("SBB", Extension.BASE),
+        ("MOV", Extension.BASE),
+        ("MOVZX", Extension.BASE),
+        ("MOVSX", Extension.BASE),
+    ],
+    InstructionKind.INT_MUL: [
+        ("IMUL", Extension.BASE),
+        ("MUL", Extension.BASE),
+        ("MULX", Extension.BASE),
+    ],
+    InstructionKind.INT_DIV: [
+        ("IDIV", Extension.BASE),
+        ("DIV", Extension.BASE),
+    ],
+    InstructionKind.BIT_SCAN: [
+        ("BSR", Extension.BASE),
+        ("BSF", Extension.BASE),
+        ("LZCNT", Extension.BASE),
+        ("TZCNT", Extension.BASE),
+        ("POPCNT", Extension.BASE),
+    ],
+    InstructionKind.SHIFT: [
+        ("SHL", Extension.BASE),
+        ("SHR", Extension.BASE),
+        ("SAR", Extension.BASE),
+        ("ROL", Extension.BASE),
+        ("ROR", Extension.BASE),
+        ("SHLD", Extension.BASE),
+    ],
+    InstructionKind.LEA: [
+        ("LEA", Extension.BASE),
+        ("LEA_SCALED", Extension.BASE),
+    ],
+    InstructionKind.CMOV: [
+        ("CMOVE", Extension.BASE),
+        ("CMOVNE", Extension.BASE),
+        ("CMOVL", Extension.BASE),
+        ("SETE", Extension.BASE),
+        ("SETNE", Extension.BASE),
+    ],
+    InstructionKind.BRANCH: [
+        ("JNLE", Extension.BASE),
+        ("JE", Extension.BASE),
+        ("JNE", Extension.BASE),
+        ("JL", Extension.BASE),
+        ("JGE", Extension.BASE),
+    ],
+    InstructionKind.JUMP: [
+        ("JMP", Extension.BASE),
+        ("CALL", Extension.BASE),
+        ("RET", Extension.BASE),
+    ],
+    InstructionKind.LOAD: [
+        ("MOV_LOAD", Extension.BASE),
+        ("MOVQ_LOAD", Extension.SSE),
+        ("MOVAPS_LOAD", Extension.SSE),
+        ("VMOVAPS_LOAD", Extension.AVX),
+        ("MOVDQU_LOAD", Extension.SSE),
+        ("VMOVDQU_LOAD", Extension.AVX),
+    ],
+    InstructionKind.STORE: [
+        ("MOV_STORE", Extension.BASE),
+        ("MOVAPS_STORE", Extension.SSE),
+        ("VMOVAPS_STORE", Extension.AVX),
+        ("MOVDQU_STORE", Extension.SSE),
+    ],
+    InstructionKind.FP_ADD: [
+        ("ADDSS", Extension.SSE),
+        ("ADDSD", Extension.SSE),
+        ("ADDPS", Extension.SSE),
+        ("ADDPD", Extension.SSE),
+        ("SUBSS", Extension.SSE),
+        ("SUBPD", Extension.SSE),
+        ("VADDPS", Extension.AVX),
+        ("VADDPD", Extension.AVX),
+        ("VSUBPS", Extension.AVX),
+        ("MINSS", Extension.SSE),
+        ("MAXPS", Extension.SSE),
+        ("VMAXPS", Extension.AVX),
+    ],
+    InstructionKind.FP_MUL: [
+        ("MULSS", Extension.SSE),
+        ("MULSD", Extension.SSE),
+        ("MULPS", Extension.SSE),
+        ("MULPD", Extension.SSE),
+        ("VMULPS", Extension.AVX),
+        ("VMULPD", Extension.AVX),
+    ],
+    InstructionKind.FP_FMA: [
+        ("VFMADD132PS", Extension.AVX),
+        ("VFMADD213PD", Extension.AVX),
+        ("VFMADD231SS", Extension.AVX),
+        ("VFNMADD132PS", Extension.AVX),
+    ],
+    InstructionKind.FP_DIV: [
+        ("DIVSS", Extension.SSE),
+        ("DIVPS", Extension.SSE),
+        ("DIVPD", Extension.SSE),
+        ("VDIVPS", Extension.AVX),
+        ("SQRTPS", Extension.SSE),
+        ("VSQRTPD", Extension.AVX),
+    ],
+    InstructionKind.FP_CONVERT: [
+        ("CVTSS2SD", Extension.SSE),
+        ("CVTSI2SS", Extension.SSE),
+        ("VCVTT", Extension.SSE),
+        ("VCVTDQ2PS", Extension.AVX),
+    ],
+    InstructionKind.SIMD_INT: [
+        ("PADDD", Extension.SSE),
+        ("PADDQ", Extension.SSE),
+        ("PSUBD", Extension.SSE),
+        ("PMULLD", Extension.SSE),
+        ("VPADDD", Extension.AVX),
+        ("VPADDQ", Extension.AVX),
+        ("VPMULLD", Extension.AVX),
+    ],
+    InstructionKind.SIMD_LOGIC: [
+        ("PAND", Extension.SSE),
+        ("POR", Extension.SSE),
+        ("PXOR", Extension.SSE),
+        ("VPAND", Extension.AVX),
+        ("VPOR", Extension.AVX),
+    ],
+    InstructionKind.SHUFFLE: [
+        ("PSHUFD", Extension.SSE),
+        ("SHUFPS", Extension.SSE),
+        ("UNPCKLPS", Extension.SSE),
+        ("VPERMD", Extension.AVX),
+        ("VSHUFPS", Extension.AVX),
+    ],
+    InstructionKind.STRING_OP: [
+        ("PCMPESTRI", Extension.SSE),
+        ("PCMPISTRM", Extension.SSE),
+    ],
+}
+
+# Relative share of each kind in a generated ISA, roughly mirroring the mix
+# of benchmarkable x86 instructions (ALU-heavy, then SIMD/FP, then memory).
+_KIND_WEIGHTS: Dict[InstructionKind, float] = {
+    InstructionKind.INT_ALU: 0.17,
+    InstructionKind.INT_MUL: 0.03,
+    InstructionKind.INT_DIV: 0.02,
+    InstructionKind.BIT_SCAN: 0.04,
+    InstructionKind.SHIFT: 0.05,
+    InstructionKind.LEA: 0.03,
+    InstructionKind.CMOV: 0.04,
+    InstructionKind.BRANCH: 0.03,
+    InstructionKind.JUMP: 0.01,
+    InstructionKind.LOAD: 0.08,
+    InstructionKind.STORE: 0.05,
+    InstructionKind.FP_ADD: 0.09,
+    InstructionKind.FP_MUL: 0.06,
+    InstructionKind.FP_FMA: 0.04,
+    InstructionKind.FP_DIV: 0.04,
+    InstructionKind.FP_CONVERT: 0.03,
+    InstructionKind.SIMD_INT: 0.08,
+    InstructionKind.SIMD_LOGIC: 0.05,
+    InstructionKind.SHUFFLE: 0.05,
+    InstructionKind.STRING_OP: 0.01,
+}
+
+_WIDTHS_BY_EXTENSION = {
+    Extension.BASE: (32, 64),
+    Extension.SSE: (128,),
+    Extension.AVX: (256,),
+}
+
+_VARIANT_SUFFIXES = ("RR", "RI", "RM", "MR", "RRI", "ALT")
+
+
+@dataclass
+class IsaGenerator:
+    """Deterministic generator of synthetic instruction sets.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the tie-breaking shuffles.  Two generators with the same
+        seed and the same requested size produce identical ISAs.
+    """
+
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def build(self, n_instructions: int) -> List[Instruction]:
+        """Build an ISA with exactly ``n_instructions`` instructions.
+
+        Instructions are spread across kinds proportionally to
+        ``_KIND_WEIGHTS`` (every kind gets at least one instruction when the
+        budget allows) and are returned sorted by name.
+        """
+        if n_instructions <= 0:
+            raise ValueError("n_instructions must be positive")
+        quotas = self._kind_quotas(n_instructions)
+        instructions: List[Instruction] = []
+        for kind in sorted(quotas, key=lambda k: k.value):
+            instructions.extend(self._build_kind(kind, quotas[kind]))
+        instructions.sort(key=lambda inst: inst.name)
+        return instructions
+
+    # ------------------------------------------------------------------
+    def _kind_quotas(self, n_instructions: int) -> Dict[InstructionKind, int]:
+        kinds = list(_KIND_WEIGHTS)
+        total_weight = sum(_KIND_WEIGHTS.values())
+        quotas: Dict[InstructionKind, int] = {}
+        assigned = 0
+        for kind in kinds:
+            share = _KIND_WEIGHTS[kind] / total_weight
+            quota = max(1, int(round(share * n_instructions))) if n_instructions >= len(kinds) else 0
+            quotas[kind] = quota
+            assigned += quota
+        if n_instructions < len(kinds):
+            # Tiny ISA: pick the highest-weight kinds only.
+            quotas = {kind: 0 for kind in kinds}
+            for kind in sorted(kinds, key=lambda k: -_KIND_WEIGHTS[k])[:n_instructions]:
+                quotas[kind] = 1
+            return {k: q for k, q in quotas.items() if q}
+        # Fix rounding drift so the total matches exactly.
+        drift = n_instructions - assigned
+        ordered = sorted(kinds, key=lambda k: -_KIND_WEIGHTS[k])
+        idx = 0
+        while drift != 0:
+            kind = ordered[idx % len(ordered)]
+            if drift > 0:
+                quotas[kind] += 1
+                drift -= 1
+            elif quotas[kind] > 1:
+                quotas[kind] -= 1
+                drift += 1
+            idx += 1
+        return quotas
+
+    def _build_kind(self, kind: InstructionKind, quota: int) -> List[Instruction]:
+        families = _FAMILIES[kind]
+        built: List[Instruction] = []
+        variant = 0
+        while len(built) < quota:
+            for base, extension in families:
+                if len(built) >= quota:
+                    break
+                widths = _WIDTHS_BY_EXTENSION[extension]
+                width = widths[variant % len(widths)]
+                name = self._spell(base, extension, width, variant)
+                built.append(
+                    Instruction(
+                        name=name,
+                        kind=kind,
+                        extension=extension,
+                        width=width,
+                        variant=variant,
+                    )
+                )
+            variant += 1
+        return built
+
+    @staticmethod
+    def _spell(base: str, extension: Extension, width: int, variant: int) -> str:
+        if extension is Extension.BASE:
+            suffix = f"R{width}"
+        elif extension is Extension.SSE:
+            suffix = "XMM"
+        else:
+            suffix = "YMM"
+        parts = [base, suffix]
+        if variant > 0:
+            parts.append(_VARIANT_SUFFIXES[(variant - 1) % len(_VARIANT_SUFFIXES)])
+            cycle = (variant - 1) // len(_VARIANT_SUFFIXES)
+            if cycle:
+                parts.append(str(cycle))
+        return "_".join(parts)
+
+
+def build_default_isa(n_instructions: int = 280, seed: int = 0) -> List[Instruction]:
+    """Build the default evaluation ISA (a few hundred instructions)."""
+    return IsaGenerator(seed=seed).build(n_instructions)
+
+
+def build_small_isa(n_instructions: int = 48, seed: int = 0) -> List[Instruction]:
+    """Build a small ISA suitable for fast unit tests and examples."""
+    return IsaGenerator(seed=seed).build(n_instructions)
+
+
+def benchmarkable(instructions: Iterable[Instruction]) -> List[Instruction]:
+    """Filter out instructions the microbenchmark generator cannot handle."""
+    return [inst for inst in instructions if inst.is_benchmarkable]

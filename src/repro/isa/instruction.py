@@ -1,0 +1,147 @@
+"""Instruction descriptors for the synthetic ISA.
+
+An :class:`Instruction` is a pure, hashable description of an operation.  It
+carries no port information: how an instruction decomposes into µOPs and
+which ports those µOPs may execute on is a property of a *machine*
+(:mod:`repro.machines`), exactly as in real hardware where the same x86
+instruction maps differently on Skylake and on Zen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Extension(enum.Enum):
+    """Vector extension class of an instruction.
+
+    The paper benchmarks SSE and AVX instructions separately from the base
+    ISA and forbids microbenchmarks that mix extensions of different vector
+    widths (Sec. VI-A); the reproduction honours the same restriction.
+    """
+
+    BASE = "base"
+    SSE = "sse"
+    AVX = "avx"
+
+    @property
+    def is_vector(self) -> bool:
+        return self is not Extension.BASE
+
+
+class InstructionKind(enum.Enum):
+    """Semantic execution-unit class of an instruction.
+
+    Machine models assign µOPs and ports per kind; the kinds below cover the
+    families the paper's examples and evaluation rely on (scalar integer,
+    branches, memory, scalar FP, SIMD, divisions, multi-µOP string/convert
+    operations).
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    BIT_SCAN = "bit_scan"
+    SHIFT = "shift"
+    LEA = "lea"
+    CMOV = "cmov"
+    BRANCH = "branch"
+    JUMP = "jump"
+    LOAD = "load"
+    STORE = "store"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_FMA = "fp_fma"
+    FP_DIV = "fp_div"
+    FP_CONVERT = "fp_convert"
+    SIMD_INT = "simd_int"
+    SIMD_LOGIC = "simd_logic"
+    SHUFFLE = "shuffle"
+    STRING_OP = "string_op"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstructionKind.LOAD, InstructionKind.STORE)
+
+    @property
+    def is_floating_point(self) -> bool:
+        return self in (
+            InstructionKind.FP_ADD,
+            InstructionKind.FP_MUL,
+            InstructionKind.FP_FMA,
+            InstructionKind.FP_DIV,
+            InstructionKind.FP_CONVERT,
+        )
+
+    @property
+    def is_simd(self) -> bool:
+        return self in (
+            InstructionKind.SIMD_INT,
+            InstructionKind.SIMD_LOGIC,
+            InstructionKind.SHUFFLE,
+        )
+
+    @property
+    def is_division(self) -> bool:
+        return self in (InstructionKind.INT_DIV, InstructionKind.FP_DIV)
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self in (InstructionKind.BRANCH, InstructionKind.JUMP)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single synthetic instruction.
+
+    Attributes
+    ----------
+    name:
+        Unique mnemonic, e.g. ``"ADD_R64"`` or ``"VADDPS_YMM"``.
+    kind:
+        Semantic execution-unit class (see :class:`InstructionKind`).
+    extension:
+        Vector extension class (see :class:`Extension`).
+    width:
+        Operand width in bits (64 for scalar, 128 for SSE-like, 256 for
+        AVX-like).
+    variant:
+        Small integer distinguishing encodings of the same kind (register
+        vs. immediate forms, different data types, ...).  Machine models use
+        it to introduce realistic per-instruction diversity.
+
+    Instructions compare and hash by ``name`` only, which must therefore be
+    unique within an ISA.
+    """
+
+    name: str
+    kind: InstructionKind = field(compare=False)
+    extension: Extension = field(compare=False)
+    width: int = field(compare=False, default=64)
+    variant: int = field(compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instruction name must be non-empty")
+        if self.width not in (8, 16, 32, 64, 128, 256, 512):
+            raise ValueError(f"unsupported operand width {self.width}")
+
+    def __lt__(self, other: "Instruction") -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self.name < other.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_benchmarkable(self) -> bool:
+        """Whether the instruction can be placed in a dependency-free kernel.
+
+        Mirrors the paper's calibration step (Sec. VI-A): instructions that
+        modify control flow non-trivially cannot be instrumented by the
+        microbenchmark generator and are discarded before mapping.  The
+        synthetic ``JUMP`` kind plays the role of such instructions.
+        """
+        return self.kind is not InstructionKind.JUMP

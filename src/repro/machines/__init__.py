@@ -1,0 +1,39 @@
+"""Ground-truth machine models.
+
+A :class:`Machine` bundles a ground-truth disjunctive port mapping, a
+front-end decode width and an ISA.  Machines play the role of the physical
+CPUs of the paper's evaluation (Intel Xeon Silver 4114 "SKL-SP" and AMD EPYC
+7401P "Zen1"): PALMED never looks inside them — it only observes the elapsed
+cycles reported by the measurement backend — but the evaluation harness uses
+them as the source of "native" IPC and as the oracle for the
+uops.info/IACA/llvm-mca-like baselines.
+
+Available machines
+------------------
+``build_toy_machine``
+    The 6-instruction, 3-port example of Fig. 1 (ports 0, 1 and 6 of
+    Skylake), used in documentation, examples and exactness tests.
+``build_skylake_like_machine``
+    A Skylake-SP-like model: 8 ports with a unified scheduler, front-end
+    width 4, non-pipelined divider on port 0.
+``build_zen_like_machine``
+    A Zen1-like model: split integer / floating-point pipelines, dedicated
+    AGUs, front-end width 5 — the structure that makes resource-minimizing
+    inference under-predict IPC in the paper.
+"""
+
+from repro.machines.machine import Machine
+from repro.machines.toy import TOY_INSTRUCTIONS, build_toy_machine
+from repro.machines.skylake import build_skylake_like_machine
+from repro.machines.zen import build_zen_like_machine
+from repro.machines.library import available_machines, build_machine
+
+__all__ = [
+    "Machine",
+    "TOY_INSTRUCTIONS",
+    "available_machines",
+    "build_machine",
+    "build_skylake_like_machine",
+    "build_toy_machine",
+    "build_zen_like_machine",
+]

@@ -1,0 +1,45 @@
+"""Registry of the machines shipped with the reproduction."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.machines.machine import Machine
+from repro.machines.skylake import build_skylake_like_machine
+from repro.machines.toy import build_toy_machine
+from repro.machines.zen import build_zen_like_machine
+
+_BUILDERS: Dict[str, Callable[..., Machine]] = {
+    "toy": lambda **kwargs: build_toy_machine(),
+    "skl": build_skylake_like_machine,
+    "skylake": build_skylake_like_machine,
+    "zen": build_zen_like_machine,
+    "zen1": build_zen_like_machine,
+}
+
+
+def available_machines() -> Tuple[str, ...]:
+    """Names accepted by :func:`build_machine`."""
+    return tuple(sorted(_BUILDERS))
+
+
+def build_machine(
+    name: str,
+    isa: Optional[Sequence[Instruction]] = None,
+    n_instructions: int = 280,
+    seed: int = 0,
+) -> Machine:
+    """Build one of the registered machines by name.
+
+    ``name`` is case-insensitive; ``"toy"`` ignores the ISA arguments (its
+    instruction set is fixed by Fig. 1 of the paper).
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {', '.join(available_machines())}"
+        )
+    if key == "toy":
+        return _BUILDERS[key]()
+    return _BUILDERS[key](isa=isa, n_instructions=n_instructions, seed=seed)

@@ -1,0 +1,126 @@
+"""A Skylake-SP-like ground-truth machine model.
+
+The model follows the publicly documented structure of Intel's Skylake
+microarchitecture: eight execution ports behind a unified scheduler
+(p0/p1/p5/p6 for computation, p2/p3 load AGUs, p4 store data, p7 simple
+store AGU), a decode/rename front-end of 4 instructions per cycle, and a
+non-pipelined divider hanging off port 0.
+
+The exact per-instruction port assignment is synthetic: it is derived from
+the instruction *kind* with deterministic per-variant diversity, so the
+machine exposes the same structural phenomena as the real chip (shared ports
+between FP add/mul/FMA, dedicated shuffle port, two-µOP stores, ...) without
+claiming cycle-accuracy for any specific x86 instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.generator import build_default_isa
+from repro.isa.instruction import Instruction, InstructionKind
+from repro.machines.machine import Machine
+from repro.mapping.disjunctive import DisjunctivePortMapping, MicroOp
+
+SKL_PORTS: Tuple[str, ...] = ("p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7")
+
+_ALU_PORTS = ("p0", "p1", "p5", "p6")
+_LOAD_PORTS = ("p2", "p3")
+_STORE_ADDR_PORTS = ("p2", "p3", "p7")
+
+
+def _uops_for(instruction: Instruction) -> List[MicroOp]:
+    """Ground-truth µOP decomposition of one instruction on the SKL model."""
+    kind = instruction.kind
+    variant = instruction.variant
+
+    if kind is InstructionKind.INT_ALU:
+        uops = [MicroOp.on(*_ALU_PORTS)]
+        # Flag-merging forms (ADC/SBB-like variants) cost an extra ALU µOP
+        # restricted to the branch-capable ports.
+        if variant % 4 == 3:
+            uops.append(MicroOp.on("p0", "p6"))
+        return uops
+    if kind is InstructionKind.INT_MUL:
+        return [MicroOp.on("p1")]
+    if kind is InstructionKind.INT_DIV:
+        # Non-pipelined integer divider: the port-0 unit is busy several cycles.
+        return [MicroOp.on("p0", occupancy=6.0)]
+    if kind is InstructionKind.BIT_SCAN:
+        return [MicroOp.on("p1")]
+    if kind is InstructionKind.SHIFT:
+        uops = [MicroOp.on("p0", "p6")]
+        if variant % 3 == 2:  # double-shift forms need a second µOP
+            uops.append(MicroOp.on("p1"))
+        return uops
+    if kind is InstructionKind.LEA:
+        if variant % 2 == 1:  # scaled/3-operand LEA is slow-LEA, port 1 only
+            return [MicroOp.on("p1")]
+        return [MicroOp.on("p1", "p5")]
+    if kind is InstructionKind.CMOV:
+        return [MicroOp.on("p0", "p6")]
+    if kind is InstructionKind.BRANCH:
+        return [MicroOp.on("p0", "p6")]
+    if kind is InstructionKind.JUMP:
+        return [MicroOp.on("p6")]
+    if kind is InstructionKind.LOAD:
+        return [MicroOp.on(*_LOAD_PORTS)]
+    if kind is InstructionKind.STORE:
+        return [MicroOp.on(*_STORE_ADDR_PORTS), MicroOp.on("p4")]
+    if kind in (InstructionKind.FP_ADD, InstructionKind.FP_MUL, InstructionKind.FP_FMA):
+        return [MicroOp.on("p0", "p1")]
+    if kind is InstructionKind.FP_DIV:
+        # Non-pipelined FP divider on port 0; 256-bit forms are slower.
+        occupancy = 4.0 if instruction.width <= 128 else 8.0
+        return [MicroOp.on("p0", occupancy=occupancy)]
+    if kind is InstructionKind.FP_CONVERT:
+        uops = [MicroOp.on("p0", "p1")]
+        if variant % 2 == 1:  # cross-domain converts add a shuffle µOP
+            uops.append(MicroOp.on("p5"))
+        return uops
+    if kind is InstructionKind.SIMD_INT:
+        if variant % 3 == 2:  # multiply-like SIMD integer ops are p0/p1 only
+            return [MicroOp.on("p0", "p1")]
+        return [MicroOp.on("p0", "p1", "p5")]
+    if kind is InstructionKind.SIMD_LOGIC:
+        return [MicroOp.on("p0", "p1", "p5")]
+    if kind is InstructionKind.SHUFFLE:
+        return [MicroOp.on("p5")]
+    if kind is InstructionKind.STRING_OP:
+        return [MicroOp.on("p0"), MicroOp.on("p5"), MicroOp.on("p0", "p1", "p5")]
+    raise ValueError(f"unsupported instruction kind {kind}")
+
+
+def build_skylake_like_machine(
+    isa: Optional[Sequence[Instruction]] = None,
+    n_instructions: int = 280,
+    seed: int = 0,
+    front_end_width: float = 4.0,
+) -> Machine:
+    """Build the Skylake-SP-like machine over a synthetic ISA.
+
+    Parameters
+    ----------
+    isa:
+        Instructions to support.  Defaults to :func:`build_default_isa`
+        with ``n_instructions`` and ``seed``.
+    front_end_width:
+        Decode width (4 instructions/cycle, the SKL-SP value used by the
+        paper when discussing the IPC ceiling).
+    """
+    instructions: Iterable[Instruction] = (
+        isa if isa is not None else build_default_isa(n_instructions, seed=seed)
+    )
+    mapping: Dict[Instruction, Tuple[MicroOp, ...]] = {
+        instruction: tuple(_uops_for(instruction)) for instruction in instructions
+    }
+    port_mapping = DisjunctivePortMapping(SKL_PORTS, mapping)
+    return Machine(
+        name="SKL-like",
+        port_mapping=port_mapping,
+        front_end_width=front_end_width,
+        description=(
+            "Skylake-SP-like model: unified scheduler over 8 ports, "
+            "4-wide front-end, non-pipelined dividers on port 0"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""The running example of the paper (Fig. 1): ports 0, 1 and 6 of Skylake.
+
+Six instructions restricted to three ports:
+
+* ``DIVPS``  → one µOP on port 0 only;
+* ``VCVTT``  → two µOPs, each on port 0 or 1;
+* ``ADDSS``  → one µOP on port 0 or 1;
+* ``BSR``    → one µOP on port 1 only;
+* ``JNLE``   → one µOP on port 0 or 6;
+* ``JMP``    → one µOP on port 6 only.
+
+The dual conjunctive mapping of this machine is exactly Fig. 1b: abstract
+resources ``r0``, ``r1``, ``r6``, ``r01``, ``r06`` and ``r016`` (``r16`` is
+pruned because it is never a bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.machines.machine import Machine
+from repro.mapping.disjunctive import DisjunctivePortMapping, MicroOp
+
+_DIVPS = Instruction("DIVPS", InstructionKind.FP_DIV, Extension.SSE, 128)
+_VCVTT = Instruction("VCVTT", InstructionKind.FP_CONVERT, Extension.SSE, 128)
+_ADDSS = Instruction("ADDSS", InstructionKind.FP_ADD, Extension.SSE, 128)
+_BSR = Instruction("BSR", InstructionKind.BIT_SCAN, Extension.BASE, 64)
+_JNLE = Instruction("JNLE", InstructionKind.BRANCH, Extension.BASE, 64)
+# The paper's figure includes JMP; it is modeled as a benchmarkable branch so
+# the toy machine can be fed through the full PALMED pipeline.
+_JMP = Instruction("JMP", InstructionKind.BRANCH, Extension.BASE, 64, variant=1)
+
+#: The six instructions of Fig. 1, keyed by mnemonic.
+TOY_INSTRUCTIONS: Dict[str, Instruction] = {
+    "DIVPS": _DIVPS,
+    "VCVTT": _VCVTT,
+    "ADDSS": _ADDSS,
+    "BSR": _BSR,
+    "JNLE": _JNLE,
+    "JMP": _JMP,
+}
+
+
+def build_toy_machine(front_end_width: float = 4.0) -> Machine:
+    """Build the 3-port, 6-instruction machine of Fig. 1.
+
+    The default front-end width (4, as on SKL-SP) never binds for these
+    instructions' pairwise kernels, so the toy machine reproduces the paper's
+    published throughputs exactly (e.g. ``ADDSS^2 BSR`` → IPC 2,
+    ``ADDSS BSR^2`` → IPC 1.5).
+    """
+    mapping = {
+        _DIVPS: (MicroOp.on("p0"),),
+        _VCVTT: (MicroOp.on("p0", "p1"), MicroOp.on("p0", "p1")),
+        _ADDSS: (MicroOp.on("p0", "p1"),),
+        _BSR: (MicroOp.on("p1"),),
+        _JNLE: (MicroOp.on("p0", "p6"),),
+        _JMP: (MicroOp.on("p6"),),
+    }
+    port_mapping = DisjunctivePortMapping(("p0", "p1", "p6"), mapping)
+    return Machine(
+        name="toy-skl-p016",
+        port_mapping=port_mapping,
+        front_end_width=front_end_width,
+        description="Fig. 1 example: Skylake instructions restricted to ports 0, 1 and 6",
+    )
+
+
+def toy_instruction(name: str) -> Instruction:
+    """Look up one of the six toy instructions by mnemonic."""
+    return TOY_INSTRUCTIONS[name]
+
+
+def toy_instruction_pair() -> Tuple[Instruction, Instruction]:
+    """The (ADDSS, BSR) pair used throughout the paper's examples."""
+    return _ADDSS, _BSR

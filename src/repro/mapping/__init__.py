@@ -1,0 +1,35 @@
+"""Port-mapping theory (Sec. IV and Appendix A of the paper).
+
+This package contains the mathematical objects PALMED is built on:
+
+* :class:`Microkernel` — a finite multiset of dependency-free instructions
+  repeated in an infinite loop (Definition IV.1);
+* :class:`DisjunctivePortMapping` — the classical tripartite
+  instruction → µOP → port model, whose steady-state throughput requires
+  solving a small LP (Definition A.2);
+* :class:`ConjunctiveResourceMapping` — PALMED's bipartite
+  instruction → abstract-resource model, whose throughput is a closed
+  formula (Definitions IV.2/IV.3);
+* :func:`build_dual` — the ∇-dual construction turning a disjunctive
+  mapping into an equivalent conjunctive one (Definition A.5,
+  Theorems A.1/A.2).
+"""
+
+from repro.mapping.microkernel import Microkernel
+from repro.mapping.disjunctive import DisjunctivePortMapping, MicroOp
+from repro.mapping.conjunctive import (
+    ConjunctiveResourceMapping,
+    UnknownInstructionError,
+)
+from repro.mapping.dual import build_dual, nabla_closure, prune_redundant_resources
+
+__all__ = [
+    "ConjunctiveResourceMapping",
+    "DisjunctivePortMapping",
+    "Microkernel",
+    "MicroOp",
+    "UnknownInstructionError",
+    "build_dual",
+    "nabla_closure",
+    "prune_redundant_resources",
+]

@@ -1,0 +1,250 @@
+"""Conjunctive (bipartite) resource mappings — PALMED's model.
+
+Definition IV.2: every instruction *uses* a set of abstract resources with
+rational proportions ``ρ_{i,r}``; a resource can serve one (normalized) use
+per cycle.  The steady-state execution time of a microkernel is then the
+closed formula
+
+    t(K) = max_r Σ_i σ_{K,i} · ρ_{i,r}
+
+and its throughput (IPC) is ``|K| / t(K)`` — no LP required.
+
+The class below stores the *non-normalized* view (resources carry an
+arbitrary positive throughput, instructions carry a number of uses), which
+matches Fig. 1b of the paper and is the more readable form; ``normalized()``
+converts to the canonical throughput-1 form of Definition IV.2.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.mapping.microkernel import Microkernel
+
+
+class UnknownInstructionError(KeyError):
+    """Raised when predicting a kernel containing an unmapped instruction."""
+
+
+class ConjunctiveResourceMapping:
+    """A bipartite weighted instruction → abstract-resource mapping.
+
+    Parameters
+    ----------
+    resources:
+        Mapping from resource name to its throughput (uses per cycle; the
+        normalized form of the paper has throughput 1 everywhere).
+    usage:
+        ``usage[instruction][resource]`` is the (non-normalized) number of
+        uses of the resource per execution of the instruction.  Missing
+        entries mean the instruction does not use the resource.
+    """
+
+    def __init__(
+        self,
+        resources: Mapping[str, float],
+        usage: Mapping[Instruction, Mapping[str, float]],
+    ) -> None:
+        self._resources: Dict[str, float] = {}
+        for name, throughput in resources.items():
+            throughput = float(throughput)
+            if throughput <= 0:
+                raise ValueError(f"resource {name!r} has non-positive throughput")
+            self._resources[name] = throughput
+
+        self._usage: Dict[Instruction, Dict[str, float]] = {}
+        for instruction, uses in usage.items():
+            cleaned: Dict[str, float] = {}
+            for resource, amount in uses.items():
+                if resource not in self._resources:
+                    raise ValueError(
+                        f"instruction {instruction} uses unknown resource {resource!r}"
+                    )
+                amount = float(amount)
+                if amount < 0:
+                    raise ValueError(
+                        f"negative usage of {resource!r} by {instruction}"
+                    )
+                if amount > 0:
+                    cleaned[resource] = amount
+            self._usage[instruction] = cleaned
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """Resource names, sorted."""
+        return tuple(sorted(self._resources))
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """Mapped instructions, sorted by name."""
+        return tuple(sorted(self._usage, key=lambda inst: inst.name))
+
+    def throughput_of(self, resource: str) -> float:
+        """Throughput (uses per cycle) of a resource."""
+        return self._resources[resource]
+
+    def supports(self, instruction: Instruction) -> bool:
+        return instruction in self._usage
+
+    def usage_of(self, instruction: Instruction) -> Dict[str, float]:
+        """Non-normalized resource usage of one instruction."""
+        if instruction not in self._usage:
+            raise UnknownInstructionError(instruction.name)
+        return dict(self._usage[instruction])
+
+    def rho(self, instruction: Instruction, resource: str) -> float:
+        """Normalized usage ``ρ_{i,r}`` (uses divided by resource throughput)."""
+        if instruction not in self._usage:
+            raise UnknownInstructionError(instruction.name)
+        return self._usage[instruction].get(resource, 0.0) / self._resources[resource]
+
+    # -- throughput ----------------------------------------------------------
+    def load_per_resource(self, kernel: Microkernel) -> Dict[str, float]:
+        """Normalized load placed by the kernel on every resource."""
+        loads = {resource: 0.0 for resource in self._resources}
+        for instruction, multiplicity in kernel.items():
+            if instruction not in self._usage:
+                raise UnknownInstructionError(instruction.name)
+            for resource, amount in self._usage[instruction].items():
+                loads[resource] += multiplicity * amount / self._resources[resource]
+        return loads
+
+    def cycles(self, kernel: Microkernel) -> float:
+        """Steady-state cycles per loop iteration, ``t(K) = max_r load_r``."""
+        loads = self.load_per_resource(kernel)
+        return max(loads.values()) if loads else 0.0
+
+    def ipc(self, kernel: Microkernel) -> float:
+        """Steady-state instructions per cycle, ``|K| / t(K)``."""
+        t_value = self.cycles(kernel)
+        if t_value <= 0:
+            raise ZeroDivisionError(
+                f"kernel {kernel.notation()} uses no resource of this mapping"
+            )
+        return kernel.size / t_value
+
+    def bottlenecks(self, kernel: Microkernel, tolerance: float = 1e-9) -> Tuple[str, ...]:
+        """Resources achieving the maximum load for the kernel."""
+        loads = self.load_per_resource(kernel)
+        peak = max(loads.values())
+        return tuple(
+            sorted(name for name, load in loads.items() if load >= peak - tolerance)
+        )
+
+    # -- transformations -----------------------------------------------------
+    def normalized(self) -> "ConjunctiveResourceMapping":
+        """The canonical form of Definition IV.2 (all throughputs equal 1)."""
+        usage = {
+            instruction: {
+                resource: amount / self._resources[resource]
+                for resource, amount in uses.items()
+            }
+            for instruction, uses in self._usage.items()
+        }
+        return ConjunctiveResourceMapping(
+            {resource: 1.0 for resource in self._resources}, usage
+        )
+
+    def restricted(self, instructions: Iterable[Instruction]) -> "ConjunctiveResourceMapping":
+        """The sub-mapping for a subset of instructions."""
+        subset = {}
+        for instruction in instructions:
+            if instruction not in self._usage:
+                raise UnknownInstructionError(instruction.name)
+            subset[instruction] = self._usage[instruction]
+        return ConjunctiveResourceMapping(self._resources, subset)
+
+    def with_resource(
+        self,
+        name: str,
+        throughput: float,
+        usage_per_instruction: Mapping[Instruction, float],
+    ) -> "ConjunctiveResourceMapping":
+        """Return a copy with one extra resource (e.g. a front-end resource)."""
+        if name in self._resources:
+            raise ValueError(f"resource {name!r} already exists")
+        resources = dict(self._resources)
+        resources[name] = float(throughput)
+        usage = {inst: dict(uses) for inst, uses in self._usage.items()}
+        for instruction, amount in usage_per_instruction.items():
+            if instruction not in usage:
+                usage[instruction] = {}
+            if amount > 0:
+                usage[instruction][name] = float(amount)
+        return ConjunctiveResourceMapping(resources, usage)
+
+    def with_instruction(
+        self, instruction: Instruction, uses: Mapping[str, float]
+    ) -> "ConjunctiveResourceMapping":
+        """Return a copy with one instruction added or replaced."""
+        usage = {inst: dict(u) for inst, u in self._usage.items()}
+        usage[instruction] = dict(uses)
+        return ConjunctiveResourceMapping(self._resources, usage)
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation of the mapping."""
+        return {
+            "resources": dict(self._resources),
+            "instructions": {
+                instruction.name: {
+                    "kind": instruction.kind.value,
+                    "extension": instruction.extension.value,
+                    "width": instruction.width,
+                    "variant": instruction.variant,
+                    "usage": dict(uses),
+                }
+                for instruction, uses in self._usage.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ConjunctiveResourceMapping":
+        """Inverse of :meth:`to_dict`."""
+        resources = {str(k): float(v) for k, v in payload["resources"].items()}
+        usage: Dict[Instruction, Dict[str, float]] = {}
+        for name, spec in payload["instructions"].items():
+            instruction = Instruction(
+                name=name,
+                kind=InstructionKind(spec["kind"]),
+                extension=Extension(spec["extension"]),
+                width=int(spec["width"]),
+                variant=int(spec["variant"]),
+            )
+            usage[instruction] = {str(r): float(u) for r, u in spec["usage"].items()}
+        return cls(resources, usage)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConjunctiveResourceMapping":
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting -------------------------------------------------------------
+    def table(self, instructions: Optional[Iterable[Instruction]] = None) -> str:
+        """A human-readable usage table (one row per instruction)."""
+        instructions = list(instructions) if instructions is not None else list(self.instructions)
+        resources = self.resources
+        header = ["instruction"] + list(resources)
+        rows = [header]
+        for instruction in instructions:
+            uses = self._usage.get(instruction, {})
+            rows.append(
+                [instruction.name]
+                + [f"{uses.get(r, 0.0):.3g}" if uses.get(r, 0.0) else "-" for r in resources]
+            )
+        widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+        lines = []
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConjunctiveResourceMapping(resources={len(self._resources)}, "
+            f"instructions={len(self._usage)})"
+        )

@@ -1,0 +1,182 @@
+"""Disjunctive (tripartite) port mappings and their LP throughput.
+
+The classical model (Definition A.2): an instruction decomposes into a
+multiset of µOPs; every µOP may execute on any one of a set of compatible
+execution ports, each port accepting one µOP per cycle (fully pipelined
+units) or occupying the port for several cycles (non-pipelined units such as
+dividers, modeled here by a per-µOP *occupancy*).
+
+Computing the steady-state execution time of a microkernel under this model
+requires choosing, for each µOP instance, a distribution over its compatible
+ports that minimizes the maximum port load — a small linear program
+(the "flow problem" of Sec. III.B).  This is exactly the computation PALMED's
+conjunctive dual replaces by a closed formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.solvers import Model, lin_sum
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """A micro-operation: a set of admissible ports and a port occupancy.
+
+    ``occupancy`` is the number of cycles the chosen port is busy with one
+    instance of the µOP; 1.0 for fully pipelined units, larger for
+    non-pipelined units (e.g. the divider).
+    """
+
+    ports: FrozenSet[str]
+    occupancy: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.ports:
+            raise ValueError("a micro-op needs at least one admissible port")
+        if self.occupancy <= 0:
+            raise ValueError("occupancy must be positive")
+
+    @classmethod
+    def on(cls, *ports: str, occupancy: float = 1.0) -> "MicroOp":
+        """Convenience constructor: ``MicroOp.on("p0", "p1")``."""
+        return cls(ports=frozenset(ports), occupancy=occupancy)
+
+
+class DisjunctivePortMapping:
+    """A tripartite instruction → µOPs → ports mapping.
+
+    Parameters
+    ----------
+    ports:
+        The execution ports of the machine (each has throughput 1 µOP/cycle).
+    mapping:
+        For every instruction, the tuple of µOPs it decomposes into.
+    """
+
+    def __init__(
+        self,
+        ports: Sequence[str],
+        mapping: Mapping[Instruction, Sequence[MicroOp]],
+    ) -> None:
+        if len(set(ports)) != len(ports):
+            raise ValueError("duplicate port names")
+        self._ports: Tuple[str, ...] = tuple(ports)
+        port_set = set(self._ports)
+        normalized: Dict[Instruction, Tuple[MicroOp, ...]] = {}
+        for instruction, uops in mapping.items():
+            uops = tuple(uops)
+            if not uops:
+                raise ValueError(f"instruction {instruction} has no micro-ops")
+            for uop in uops:
+                unknown = uop.ports - port_set
+                if unknown:
+                    raise ValueError(
+                        f"micro-op of {instruction} uses unknown ports {sorted(unknown)}"
+                    )
+            normalized[instruction] = uops
+        self._mapping = normalized
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        return self._ports
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(sorted(self._mapping, key=lambda inst: inst.name))
+
+    def uops(self, instruction: Instruction) -> Tuple[MicroOp, ...]:
+        """The µOP decomposition of an instruction."""
+        return self._mapping[instruction]
+
+    def supports(self, instruction: Instruction) -> bool:
+        return instruction in self._mapping
+
+    def num_uops(self, instruction: Instruction) -> int:
+        return len(self._mapping[instruction])
+
+    def port_sets(self) -> Tuple[FrozenSet[str], ...]:
+        """All distinct admissible-port sets appearing in the mapping."""
+        seen = {uop.ports for uops in self._mapping.values() for uop in uops}
+        return tuple(sorted(seen, key=lambda s: (len(s), sorted(s))))
+
+    def restricted(self, instructions: Iterable[Instruction]) -> "DisjunctivePortMapping":
+        """The sub-mapping containing only the given instructions."""
+        subset = {inst: self._mapping[inst] for inst in instructions}
+        return DisjunctivePortMapping(self._ports, subset)
+
+    # -- throughput ----------------------------------------------------------
+    def cycles(self, kernel: Microkernel) -> float:
+        """Minimal steady-state cycles per loop iteration, ``t(K)``.
+
+        Solves the port-assignment LP: fractional assignment of each µOP
+        instance to its admissible ports minimizing the maximum port load.
+        """
+        assignment, t_value = self._solve_assignment(kernel)
+        del assignment
+        return t_value
+
+    def ipc(self, kernel: Microkernel) -> float:
+        """Steady-state instructions per cycle, ``|K| / t(K)``."""
+        t_value = self.cycles(kernel)
+        if t_value == 0:
+            raise ZeroDivisionError("kernel with zero execution time")
+        return kernel.size / t_value
+
+    def optimal_assignment(
+        self, kernel: Microkernel
+    ) -> Dict[Tuple[Instruction, int, str], float]:
+        """An optimal fractional µOP → port assignment for the kernel.
+
+        Returns a dictionary keyed by ``(instruction, uop_index, port)``
+        whose values are the number of µOP instances (per loop iteration)
+        routed to that port.
+        """
+        assignment, _ = self._solve_assignment(kernel)
+        return assignment
+
+    def _solve_assignment(
+        self, kernel: Microkernel
+    ) -> Tuple[Dict[Tuple[Instruction, int, str], float], float]:
+        for instruction in kernel.instructions:
+            if instruction not in self._mapping:
+                raise KeyError(f"instruction {instruction} not in the port mapping")
+
+        model = Model("disjunctive-throughput")
+        t_var = model.add_variable("t", lb=0.0)
+        port_loads: Dict[str, list] = {port: [] for port in self._ports}
+        variables: Dict[Tuple[Instruction, int, str], object] = {}
+
+        for instruction, multiplicity in kernel.items():
+            for uop_index, uop in enumerate(self._mapping[instruction]):
+                shares = []
+                for port in sorted(uop.ports):
+                    var = model.add_variable(
+                        f"x[{instruction.name},{uop_index},{port}]", lb=0.0
+                    )
+                    variables[(instruction, uop_index, port)] = var
+                    shares.append(var)
+                    port_loads[port].append(var * uop.occupancy)
+                model.add_equality(lin_sum(shares), multiplicity)
+
+        for port in self._ports:
+            if port_loads[port]:
+                model.add_constraint(lin_sum(port_loads[port]) <= t_var)
+        model.minimize(t_var)
+        solution = model.solve()
+
+        assignment = {
+            key: solution[var] for key, var in variables.items() if solution[var] > 1e-12
+        }
+        return assignment, float(solution[t_var])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DisjunctivePortMapping(ports={len(self._ports)}, "
+            f"instructions={len(self._mapping)})"
+        )

@@ -1,0 +1,152 @@
+"""∇-dual construction: disjunctive → conjunctive mapping (Appendix A).
+
+Definition A.5 of the paper: given a disjunctive mapping with port set ``R``
+and a family ``∇`` of subsets of ``R``, the ∇-dual conjunctive mapping has
+one abstract resource ``r_J`` of throughput ``|J|`` per ``J ∈ ∇``, and a µOP
+with admissible-port set ``P`` uses ``r_J`` whenever ``P ⊆ J``.
+
+Theorem A.2 shows that with ``∇`` large enough (in particular when it
+contains the saturated port sets of optimal assignments) the dual mapping
+predicts exactly the same execution time as the disjunctive LP.  In
+practice the paper builds ``∇`` by closing the µOP port sets under union of
+intersecting sets, which is what :func:`nabla_closure` implements; combined
+resources formed from *disjoint* sets are never bottlenecks (their average
+load is dominated by one of the parts), so the closure is sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.mapping.disjunctive import DisjunctivePortMapping
+
+
+def nabla_closure(port_sets: Iterable[FrozenSet[str]]) -> Set[FrozenSet[str]]:
+    """Close a family of port sets under union of intersecting members.
+
+    Starting from the admissible-port sets of the µOPs, repeatedly add the
+    union of any two members that share at least one port, until a fixpoint
+    is reached.  The result is the ``∇`` used to build the dual mapping.
+    """
+    closure: Set[FrozenSet[str]] = {frozenset(s) for s in port_sets if s}
+    changed = True
+    while changed:
+        changed = False
+        members = sorted(closure, key=lambda s: (len(s), sorted(s)))
+        for i, left in enumerate(members):
+            for right in members[i + 1 :]:
+                if left & right:
+                    union = left | right
+                    if union not in closure:
+                        closure.add(union)
+                        changed = True
+    return closure
+
+
+def resource_name(ports: FrozenSet[str]) -> str:
+    """Canonical abstract-resource name for a combined port set.
+
+    Example: ``{"p1", "p0"}`` becomes ``"r(p0+p1)"`` — mirroring the paper's
+    ``r01`` notation while staying unambiguous for arbitrary port names.
+    """
+    return "r(" + "+".join(sorted(ports)) + ")"
+
+
+def build_dual(
+    disjunctive: DisjunctivePortMapping,
+    nabla: Optional[Iterable[FrozenSet[str]]] = None,
+    prune: bool = True,
+) -> ConjunctiveResourceMapping:
+    """Build the ∇-dual conjunctive mapping of a disjunctive port mapping.
+
+    Parameters
+    ----------
+    disjunctive:
+        The ground-truth tripartite mapping.
+    nabla:
+        The family of combined port sets to materialize as abstract
+        resources.  Defaults to :func:`nabla_closure` over the µOP port sets.
+    prune:
+        Drop combined resources whose load is dominated by another resource
+        for every possible kernel (they can never be the bottleneck), as the
+        paper does for e.g. ``r16`` in the running example.
+    """
+    if nabla is None:
+        nabla = nabla_closure(
+            uop.ports
+            for instruction in disjunctive.instructions
+            for uop in disjunctive.uops(instruction)
+        )
+    nabla = {frozenset(s) for s in nabla if s}
+
+    resources: Dict[str, float] = {}
+    for port_set in nabla:
+        resources[resource_name(port_set)] = float(len(port_set))
+
+    usage: Dict[Instruction, Dict[str, float]] = {}
+    for instruction in disjunctive.instructions:
+        uses: Dict[str, float] = {}
+        for uop in disjunctive.uops(instruction):
+            for port_set in nabla:
+                if uop.ports <= port_set:
+                    name = resource_name(port_set)
+                    uses[name] = uses.get(name, 0.0) + uop.occupancy
+        usage[instruction] = uses
+
+    mapping = ConjunctiveResourceMapping(resources, usage)
+    if prune:
+        mapping = prune_redundant_resources(mapping)
+    return mapping
+
+
+def prune_redundant_resources(
+    mapping: ConjunctiveResourceMapping,
+) -> ConjunctiveResourceMapping:
+    """Remove resources that can never be the bottleneck of any kernel.
+
+    A resource ``r`` is redundant when another resource ``r'`` satisfies
+    ``ρ_{i,r} ≤ ρ_{i,r'}`` for every instruction ``i``: whatever the kernel,
+    the load of ``r`` is then at most the load of ``r'``, so dropping ``r``
+    never changes ``max_r load_r``.  Ties (identical usage rows) keep the
+    lexicographically smallest resource name.
+    """
+    instructions = mapping.instructions
+    resources = list(mapping.resources)
+    rows = {
+        resource: tuple(mapping.rho(instruction, resource) for instruction in instructions)
+        for resource in resources
+    }
+
+    kept: List[str] = []
+    for resource in sorted(resources):
+        dominated = False
+        for other in sorted(resources):
+            if other == resource:
+                continue
+            other_row = rows[other]
+            row = rows[resource]
+            if all(o >= r - 1e-12 for o, r in zip(other_row, row)):
+                identical = all(abs(o - r) <= 1e-12 for o, r in zip(other_row, row))
+                if identical:
+                    # Keep only the lexicographically smallest of an identical group.
+                    if other < resource:
+                        dominated = True
+                        break
+                else:
+                    dominated = True
+                    break
+        if not dominated:
+            kept.append(resource)
+
+    usage = {
+        instruction: {
+            resource: amount
+            for resource, amount in mapping.usage_of(instruction).items()
+            if resource in kept
+        }
+        for instruction in instructions
+    }
+    throughputs = {resource: mapping.throughput_of(resource) for resource in kept}
+    return ConjunctiveResourceMapping(throughputs, usage)

@@ -1,0 +1,160 @@
+"""Microkernels: multisets of dependency-free instructions.
+
+Definition IV.1 of the paper: a microkernel ``K = I1^σ1 I2^σ2 ... Im^σm`` is
+an infinite loop over a finite multiset of instructions without dependencies;
+``|K| = Σ σi`` is the number of instructions executed per loop iteration.
+
+Because instructions are independent, the order is irrelevant: a microkernel
+is fully described by its instruction multiplicities.  Multiplicities are
+kept as (possibly fractional) positive numbers — the paper itself rounds
+benchmark coefficients to within a 5 % tolerance, so fractional bookkeeping
+is the natural internal representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class Microkernel:
+    """An immutable multiset of instructions with positive multiplicities.
+
+    Examples
+    --------
+    >>> from repro.isa import Instruction, InstructionKind, Extension
+    >>> addss = Instruction("ADDSS", InstructionKind.FP_ADD, Extension.SSE, 128)
+    >>> bsr = Instruction("BSR", InstructionKind.BIT_SCAN, Extension.BASE, 64)
+    >>> k = Microkernel({addss: 2, bsr: 1})
+    >>> k.size
+    3.0
+    >>> sorted(str(i) for i in k.instructions)
+    ['ADDSS', 'BSR']
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, counts: Mapping[Instruction, float]) -> None:
+        cleaned: Dict[Instruction, float] = {}
+        for instruction, count in counts.items():
+            if not isinstance(instruction, Instruction):
+                raise TypeError(f"expected Instruction, got {type(instruction).__name__}")
+            count = float(count)
+            if count < 0:
+                raise ValueError(f"negative multiplicity {count} for {instruction}")
+            if count > 0:
+                cleaned[instruction] = cleaned.get(instruction, 0.0) + count
+        if not cleaned:
+            raise ValueError("a microkernel must contain at least one instruction")
+        self._counts: Dict[Instruction, float] = cleaned
+        self._hash = hash(tuple(sorted((i.name, c) for i, c in cleaned.items())))
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def single(cls, instruction: Instruction, count: float = 1.0) -> "Microkernel":
+        """The kernel made of ``count`` independent copies of one instruction."""
+        return cls({instruction: count})
+
+    @classmethod
+    def from_instructions(cls, instructions: Iterable[Instruction]) -> "Microkernel":
+        """Build a kernel from a sequence of instructions (with repetitions)."""
+        counts: Dict[Instruction, float] = {}
+        for instruction in instructions:
+            counts[instruction] = counts.get(instruction, 0.0) + 1.0
+        return cls(counts)
+
+    @classmethod
+    def pair(
+        cls,
+        a: Instruction,
+        count_a: float,
+        b: Instruction,
+        count_b: float,
+    ) -> "Microkernel":
+        """The two-instruction kernel ``a^count_a b^count_b``."""
+        return cls({a: count_a, b: count_b})
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def counts(self) -> Dict[Instruction, float]:
+        """Multiplicity of each instruction (a fresh copy)."""
+        return dict(self._counts)
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """Distinct instructions of the kernel, sorted by name."""
+        return tuple(sorted(self._counts, key=lambda inst: inst.name))
+
+    @property
+    def size(self) -> float:
+        """``|K|``: total number of instructions per loop iteration."""
+        return float(sum(self._counts.values()))
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct instructions in the kernel."""
+        return len(self._counts)
+
+    def multiplicity(self, instruction: Instruction) -> float:
+        """``σ_{K,i}`` — 0 if the instruction is not part of the kernel."""
+        return self._counts.get(instruction, 0.0)
+
+    def __contains__(self, instruction: Instruction) -> bool:
+        return instruction in self._counts
+
+    def items(self) -> Iterator[Tuple[Instruction, float]]:
+        """Iterate over ``(instruction, multiplicity)`` pairs, sorted by name."""
+        return iter(sorted(self._counts.items(), key=lambda kv: kv[0].name))
+
+    # -- algebra -------------------------------------------------------------
+    def scaled(self, factor: float) -> "Microkernel":
+        """Multiply every multiplicity by ``factor > 0``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return Microkernel({inst: count * factor for inst, count in self._counts.items()})
+
+    def combined(self, other: "Microkernel") -> "Microkernel":
+        """The multiset union (multiplicities add up)."""
+        counts = dict(self._counts)
+        for inst, count in other._counts.items():
+            counts[inst] = counts.get(inst, 0.0) + count
+        return Microkernel(counts)
+
+    def __add__(self, other: "Microkernel") -> "Microkernel":
+        if not isinstance(other, Microkernel):
+            return NotImplemented
+        return self.combined(other)
+
+    def rounded(self, ndigits: int = 6) -> "Microkernel":
+        """Round multiplicities (used after coefficient quantization)."""
+        return Microkernel(
+            {inst: round(count, ndigits) for inst, count in self._counts.items()}
+        )
+
+    # -- dunder -------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Microkernel):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Microkernel({self.notation()})"
+
+    def notation(self) -> str:
+        """Paper-style notation, e.g. ``ADDSS^2 BSR``."""
+        parts = []
+        for inst, count in self.items():
+            if abs(count - 1.0) < 1e-12:
+                parts.append(inst.name)
+            elif abs(count - round(count)) < 1e-9:
+                parts.append(f"{inst.name}^{int(round(count))}")
+            else:
+                parts.append(f"{inst.name}^{count:.3g}")
+        return " ".join(parts)

@@ -1,0 +1,154 @@
+"""Basic instruction selection (Algorithm 1 of the paper).
+
+The selection trims the full instruction set down to ``n`` *basic
+instructions* — instructions that map to as few resources as possible, yet
+together touch every resource — which are the only instructions the
+expensive core-mapping ILPs ever see.  Four successive steps:
+
+1. **Low-IPC filter**: instructions whose standalone IPC is at most
+   ``1 - ε`` use some resource more than once per instruction and are kept
+   out of the basic set (they are still mapped later by LPAUX).
+2. **Equivalence classes**: instructions with identical pairwise-IPC
+   signatures are duplicates; only a representative is kept.
+3. **Very basic instructions**: a maximal clique of pairwise *disjoint*
+   instructions (``IPC(aabb) = IPC(a) + IPC(b)``), greedily built following
+   the ``<_VB`` order (most disjoint first).  These are instructions that
+   plausibly use a single resource each.
+4. **Most greedy instructions**: if the clique is smaller than ``n``, the
+   remaining slots are filled with the instructions that slow everything
+   else down the most (smallest pairwise IPCs), which guarantees the shared
+   resources are represented too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.palmed.clustering import cluster_representatives, hierarchical_clusters
+from repro.palmed.config import PalmedConfig
+from repro.palmed.quadratic import QuadraticBenchmarks
+
+
+@dataclass
+class BasicSelectionResult:
+    """Outcome of Algorithm 1.
+
+    Attributes
+    ----------
+    basic:
+        The selected basic instructions ``I_B`` (very basic + greedy).
+    very_basic:
+        The disjoint clique ``I_VB``.
+    greedy:
+        The greedy completion ``I_MF``.
+    candidates:
+        Instructions that survived the low-IPC filter (before clustering).
+    representatives:
+        Mapping from each kept representative to its equivalence class.
+    low_ipc:
+        Instructions excluded by the low-IPC filter (still mapped by LPAUX).
+    disjoint:
+        The ``Dj`` relation: for each representative, the set of
+        representatives it is disjoint from.
+    """
+
+    basic: List[Instruction]
+    very_basic: List[Instruction]
+    greedy: List[Instruction]
+    candidates: List[Instruction]
+    representatives: Dict[Instruction, List[Instruction]]
+    low_ipc: List[Instruction]
+    disjoint: Dict[Instruction, Set[Instruction]] = field(default_factory=dict)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of behavioural equivalence classes."""
+        return len(self.representatives)
+
+    def class_of(self, instruction: Instruction) -> List[Instruction]:
+        """The equivalence class containing ``instruction`` (if any)."""
+        for representative, members in self.representatives.items():
+            if instruction in members:
+                return members
+        raise KeyError(instruction.name)
+
+    def non_disjoint_partners(self, instruction: Instruction) -> Set[Instruction]:
+        """Representatives sharing at least one resource with ``instruction``.
+
+        This is the ``><`` relation used by the LP1 constraints for the
+        greedy instructions.
+        """
+        others = set(self.representatives) - {instruction}
+        return others - self.disjoint.get(instruction, set())
+
+
+def select_basic_instructions(
+    quadratic: QuadraticBenchmarks,
+    config: PalmedConfig,
+) -> BasicSelectionResult:
+    """Run Algorithm 1 on a set of quadratic benchmark measurements."""
+    instructions = list(quadratic.instructions)
+
+    # Step 1 — low-IPC filter.
+    low_ipc = [
+        inst for inst in instructions
+        if quadratic.single_ipc(inst) <= config.low_ipc_threshold
+    ]
+    candidates = [inst for inst in instructions if inst not in set(low_ipc)]
+
+    # Step 2 — equivalence classes among the remaining candidates.
+    vectors = {inst: quadratic.behaviour_vector(inst) for inst in candidates}
+    clusters = hierarchical_clusters(vectors, config.cluster_tolerance)
+    scores = {inst: quadratic.single_ipc(inst) for inst in candidates}
+    representatives = cluster_representatives(clusters, scores)
+    kept = sorted(representatives, key=lambda inst: inst.name)
+
+    # Step 3 — disjointness relation and the very-basic clique.
+    disjoint: Dict[Instruction, Set[Instruction]] = {
+        a: {
+            b
+            for b in kept
+            if b != a and quadratic.are_disjoint(a, b, config.epsilon)
+        }
+        for a in kept
+    }
+
+    n_basic = config.target_basic_count(len(representatives))
+
+    def vb_sort_key(inst: Instruction) -> Tuple[float, float, str]:
+        # Most-disjoint first; ties broken by higher standalone IPC, then name.
+        return (-float(len(disjoint[inst])), -quadratic.single_ipc(inst), inst.name)
+
+    very_basic: List[Instruction] = []
+    for inst in sorted(kept, key=vb_sort_key):
+        if all(other in disjoint[inst] for other in very_basic):
+            very_basic.append(inst)
+        if len(very_basic) >= n_basic:
+            break
+
+    # Step 4 — greedy completion (highest greediness score first: the
+    # instructions that keep everything fast because they can use many
+    # alternative ports, hence exercise the wide combined resources).
+    greedy: List[Instruction] = []
+    if len(very_basic) < n_basic:
+        by_greediness = sorted(
+            (inst for inst in kept if inst not in set(very_basic)),
+            key=lambda inst: (-quadratic.greediness_score(inst), inst.name),
+        )
+        for inst in by_greediness:
+            greedy.append(inst)
+            if len(very_basic) + len(greedy) >= n_basic:
+                break
+
+    basic = sorted(very_basic + greedy, key=lambda inst: inst.name)
+    return BasicSelectionResult(
+        basic=basic,
+        very_basic=sorted(very_basic, key=lambda inst: inst.name),
+        greedy=sorted(greedy, key=lambda inst: inst.name),
+        candidates=candidates,
+        representatives=representatives,
+        low_ipc=sorted(low_ipc, key=lambda inst: inst.name),
+        disjoint=disjoint,
+    )

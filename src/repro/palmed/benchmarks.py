@@ -1,0 +1,136 @@
+"""Microbenchmark construction and measurement bookkeeping.
+
+The paper's microbenchmark generator emits unrolled assembly loops; here a
+"benchmark" is simply a :class:`Microkernel` handed to the measurement
+backend.  This module centralizes the kernel shapes PALMED uses —
+
+* ``a``                      (single-instruction kernels),
+* ``a^IPC(a) b^IPC(b)``      (the *quadratic* pair benchmarks),
+* ``a^M b``                  (the anti-degeneracy seed of LP1),
+* ``i^IPC(i) · sat[r]^L``    (the saturating benchmarks of LPAUX),
+
+— as well as the coefficient quantization of Sec. VI-A (multiplicities are
+rounded so that they differ by at most ε from the ideal values) and a
+:class:`BenchmarkRunner` that memoizes measurements and counts how many
+distinct benchmarks were executed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.isa.instruction import Extension, Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.config import PalmedConfig
+from repro.simulator.backend import MeasurementBackend
+
+
+def quantize_multiplicity(value: float, epsilon: float = 0.05, max_denominator: int = 64) -> float:
+    """Round a multiplicity to a small rational within relative tolerance ε.
+
+    The paper rounds benchmark coefficients so that the number of repetitions
+    of an instruction differs by at most 5 % from what the algorithm asks
+    for (e.g. ``a^0.06 b^1`` becomes ``a^1 b^20`` after scaling).  For the
+    purposes of kernel construction it is enough to snap each multiplicity to
+    the closest small rational within the tolerance.
+    """
+    if value <= 0:
+        raise ValueError("multiplicity must be positive")
+    best = Fraction(value).limit_denominator(max_denominator)
+    quantized = float(best)
+    if quantized <= 0:
+        quantized = 1.0 / max_denominator
+    if abs(quantized - value) > epsilon * value:
+        # The rational approximation failed the tolerance (possible for very
+        # small values with a bounded denominator); fall back to the raw value.
+        return value
+    return quantized
+
+
+def quantize_kernel(kernel: Microkernel, epsilon: float = 0.05) -> Microkernel:
+    """Quantize every multiplicity of a kernel (see :func:`quantize_multiplicity`)."""
+    return Microkernel(
+        {
+            instruction: quantize_multiplicity(count, epsilon)
+            for instruction, count in kernel.items()
+        }
+    )
+
+
+def mixes_vector_extensions(a: Instruction, b: Instruction) -> bool:
+    """True when a kernel mixing ``a`` and ``b`` would mix SSE and AVX.
+
+    The paper forbids such benchmarks because transitioning between vector
+    widths introduces dependencies that violate the throughput model.
+    """
+    extensions = {a.extension, b.extension}
+    return Extension.SSE in extensions and Extension.AVX in extensions
+
+
+class BenchmarkRunner:
+    """Measurement front-end used by every stage of the pipeline.
+
+    Wraps a :class:`MeasurementBackend`, optionally quantizes kernel
+    coefficients before measuring (mirroring the paper's generator
+    limitations), and memoizes results.
+    """
+
+    def __init__(self, backend: MeasurementBackend, config: Optional[PalmedConfig] = None) -> None:
+        self.backend = backend
+        self.config = config if config is not None else PalmedConfig()
+        self._ipc_cache: Dict[Microkernel, float] = {}
+
+    # -- measurements -------------------------------------------------------
+    def ipc(self, kernel: Microkernel) -> float:
+        """Measured IPC of a kernel (quantized if the configuration asks for it)."""
+        cached = self._ipc_cache.get(kernel)
+        if cached is not None:
+            return cached
+        measured_kernel = kernel
+        if self.config.quantize_coefficients:
+            measured_kernel = quantize_kernel(kernel, self.config.epsilon)
+        value = self.backend.ipc(measured_kernel)
+        self._ipc_cache[kernel] = value
+        return value
+
+    def cycles(self, kernel: Microkernel) -> float:
+        """Measured cycles per loop iteration of a kernel."""
+        return kernel.size / self.ipc(kernel)
+
+    def ipc_single(self, instruction: Instruction) -> float:
+        """Measured standalone IPC of one instruction (``a`` in the paper)."""
+        return self.ipc(Microkernel.single(instruction))
+
+    @property
+    def num_benchmarks(self) -> int:
+        """Number of distinct microbenchmarks measured so far."""
+        return self.backend.measurement_count
+
+    # -- kernel shapes --------------------------------------------------------
+    def pair_kernel(self, a: Instruction, b: Instruction) -> Microkernel:
+        """The quadratic benchmark ``a^IPC(a) b^IPC(b)`` (written ``aabb``)."""
+        if a == b:
+            raise ValueError("pair kernels need two distinct instructions")
+        return Microkernel(
+            {a: max(self.ipc_single(a), self.config.min_ipc),
+             b: max(self.ipc_single(b), self.config.min_ipc)}
+        )
+
+    def repeated_pair_kernel(self, a: Instruction, b: Instruction) -> Microkernel:
+        """The ``a^M b`` benchmark used to stop LP1 from degenerate merges."""
+        return Microkernel({a: float(self.config.m_repeat), b: 1.0})
+
+    def saturating_benchmark(
+        self, instruction: Instruction, saturating_kernel: Microkernel
+    ) -> Microkernel:
+        """``Ksat(i, r) = i^IPC(i) · sat[r]^L`` (Sec. V-C).
+
+        The saturating kernel is scaled by ``L`` so that the resource it
+        saturates stays the bottleneck even with the extra instruction mixed
+        in, which is what lets LPAUX read off ``ρ_{i,r}``.
+        """
+        own = Microkernel.single(
+            instruction, max(self.ipc_single(instruction), self.config.min_ipc)
+        )
+        return own + saturating_kernel.scaled(float(self.config.l_repeat))

@@ -1,0 +1,106 @@
+"""Hierarchical clustering of instruction behaviour vectors.
+
+Algorithm 1 removes duplicate instructions: two instructions whose pairwise
+IPC signature is identical (within measurement tolerance) behave the same
+with respect to basic-instruction selection, so only one representative is
+kept.  The paper builds these equivalence classes with hierarchical
+clustering [Nielsen 2016]; the implementation below is an agglomerative,
+complete-linkage clustering with a relative-difference metric, which
+guarantees that *every* pair inside a cluster is within the tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+def relative_distance(left: np.ndarray, right: np.ndarray, floor: float = 1e-9) -> float:
+    """Maximum componentwise relative difference between two vectors."""
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    if left.shape != right.shape:
+        raise ValueError("vectors must have the same shape")
+    denominator = np.maximum(np.maximum(np.abs(left), np.abs(right)), floor)
+    return float(np.max(np.abs(left - right) / denominator))
+
+
+def pairwise_relative_distances(matrix: np.ndarray, floor: float = 1e-9) -> np.ndarray:
+    """Full pairwise matrix of :func:`relative_distance` values.
+
+    Computed one row at a time (vectorized over the other rows) so the
+    memory footprint stays ``O(n · dim)`` even for large instruction sets.
+    """
+    size = matrix.shape[0]
+    distances = np.zeros((size, size))
+    absolute = np.abs(matrix)
+    for i in range(size):
+        diff = np.abs(matrix - matrix[i])
+        denominator = np.maximum(np.maximum(absolute, absolute[i]), floor)
+        distances[i] = np.max(diff / denominator, axis=1)
+    return distances
+
+
+def hierarchical_clusters(
+    vectors: Mapping[Key, np.ndarray],
+    tolerance: float,
+) -> List[List[Key]]:
+    """Group keys whose vectors are pairwise within ``tolerance``.
+
+    Agglomerative clustering with complete linkage: at every step the two
+    clusters at minimal inter-cluster distance (the *maximum* pairwise
+    distance between their members) are merged, as long as that distance does
+    not exceed ``tolerance``.  Complete linkage ensures the defining property
+    of the paper's equivalence classes — all members behave alike — rather
+    than the weaker chained similarity of single linkage.
+
+    The linkage itself is delegated to :mod:`scipy.cluster.hierarchy`, which
+    keeps the step cheap even for the full quadratic-benchmark matrices of a
+    few hundred instructions.
+
+    Returns clusters as lists of keys; the clusters and their members are
+    sorted deterministically.
+    """
+    keys = sorted(vectors, key=repr)
+    if not keys:
+        return []
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if len(keys) == 1:
+        return [list(keys)]
+
+    matrix = np.vstack([np.asarray(vectors[key], dtype=float) for key in keys])
+    distances = pairwise_relative_distances(matrix)
+
+    from scipy.cluster import hierarchy
+    from scipy.spatial.distance import squareform
+
+    condensed = squareform(distances, checks=False)
+    linkage = hierarchy.linkage(condensed, method="complete")
+    labels = hierarchy.fcluster(linkage, t=tolerance, criterion="distance")
+
+    grouped: Dict[int, List[Key]] = {}
+    for key, label in zip(keys, labels):
+        grouped.setdefault(int(label), []).append(key)
+    result = [sorted(members, key=repr) for members in grouped.values()]
+    result.sort(key=lambda members: repr(members[0]))
+    return result
+
+
+def cluster_representatives(
+    clusters: Sequence[Sequence[Key]],
+    score: Mapping[Key, float],
+) -> Dict[Key, List[Key]]:
+    """Pick one representative per cluster (highest score, ties by repr).
+
+    Returns a mapping ``representative -> members`` (members include the
+    representative itself).
+    """
+    representatives: Dict[Key, List[Key]] = {}
+    for members in clusters:
+        best = max(members, key=lambda key: (score.get(key, 0.0), repr(key)))
+        representatives[best] = list(members)
+    return representatives

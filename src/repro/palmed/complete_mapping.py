@@ -1,0 +1,104 @@
+"""Complete mapping — LPAUX (Algorithm 5 of the paper).
+
+Once the core mapping is known, every remaining instruction is mapped
+independently: the instruction is mixed with the saturating kernel of each
+resource (scaled by ``L`` so the resource stays the bottleneck), the
+resulting benchmarks are measured, and a small weight problem with the core
+edges *frozen* recovers the instruction's usage of every resource.  Because
+each instruction is handled by its own constant-size problem, this phase
+scales linearly with the ISA — the key to mapping thousands of instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.benchmarks import BenchmarkRunner, mixes_vector_extensions
+from repro.palmed.config import PalmedConfig
+from repro.palmed.core_mapping import CoreMappingResult
+from repro.palmed.lp1_shape import KernelObservation
+from repro.palmed.lp2_weights import (
+    WeightProblem,
+    solve_weights_exact,
+    solve_weights_heuristic,
+)
+from repro.solvers import SolverError
+
+
+def _kernel_mixes_extensions(instruction: Instruction, kernel: Microkernel) -> bool:
+    return any(mixes_vector_extensions(instruction, other) for other in kernel.instructions)
+
+
+def map_single_instruction(
+    runner: BenchmarkRunner,
+    instruction: Instruction,
+    core: CoreMappingResult,
+    config: PalmedConfig,
+) -> Dict[int, float]:
+    """Infer the resource usage of one instruction against the frozen core."""
+    observations: List[KernelObservation] = []
+    if config.include_singleton_in_lpaux:
+        kernel = Microkernel.single(instruction)
+        observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+    for resource in sorted(core.saturating_kernels):
+        saturating = core.saturating_kernels[resource]
+        if config.separate_extensions and _kernel_mixes_extensions(instruction, saturating):
+            # The benchmark cannot be generated (mixed vector extensions);
+            # the resource usage of this instruction is then inferred from
+            # the remaining benchmarks only, as on real hardware.
+            continue
+        kernel = runner.saturating_benchmark(instruction, saturating)
+        observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+    if not observations:
+        kernel = Microkernel.single(instruction)
+        observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+
+    problem = WeightProblem(
+        observations=observations,
+        num_resources=core.num_resources,
+        free_edges={instruction: set(range(core.num_resources))},
+        frozen_rho=core.basic_rho,
+        rho_upper_bound=None,
+        soft_capacity=True,
+    )
+    if config.lpaux_mode == "exact":
+        solution = solve_weights_exact(problem, config)
+    else:
+        solution = solve_weights_heuristic(problem, config)
+    rho = solution.rho.get(instruction, {})
+    return {
+        resource: value
+        for resource, value in rho.items()
+        if value >= config.edge_threshold
+    }
+
+
+def complete_mapping(
+    runner: BenchmarkRunner,
+    instructions: Iterable[Instruction],
+    core: CoreMappingResult,
+    config: PalmedConfig,
+    on_error: str = "skip",
+) -> Dict[Instruction, Dict[int, float]]:
+    """Run LPAUX for every instruction not already in the core mapping.
+
+    Parameters
+    ----------
+    on_error:
+        ``"skip"`` drops instructions whose weight problem fails (mirroring
+        the paper's "instructions mapped" < "instructions supported" gap);
+        ``"raise"`` propagates the solver error.
+    """
+    core_instructions = set(core.basic_rho)
+    mapped: Dict[Instruction, Dict[int, float]] = {}
+    for instruction in sorted(set(instructions), key=lambda inst: inst.name):
+        if instruction in core_instructions:
+            continue
+        try:
+            mapped[instruction] = map_single_instruction(runner, instruction, core, config)
+        except SolverError:
+            if on_error == "raise":
+                raise
+    return mapped

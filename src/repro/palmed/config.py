@@ -1,0 +1,140 @@
+"""Configuration of the PALMED pipeline.
+
+Every constant called out in the paper (the 5 % measurement tolerance, the
+``M = 4`` and ``L = 4`` benchmark multipliers, the low-IPC cutoff of 0.05)
+has a corresponding knob here so that the ablation benchmarks can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PalmedConfig:
+    """Tunable parameters of the inference pipeline.
+
+    Attributes
+    ----------
+    n_basic:
+        Target number of basic instructions (the ``n`` of Algorithm 1).
+        ``None`` (the default) selects one basic instruction per behavioural
+        equivalence class, capped at ``n_basic_cap`` — in the paper's running
+        example the 754 port-0/1/6 instructions reduce to 9 classes and the
+        basic set is drawn from those.
+    n_basic_cap:
+        Upper bound on the automatically sized basic set.
+    min_ipc:
+        Instructions with a standalone IPC below this value are discarded
+        entirely (the paper uses 0.05: such instructions are irrelevant for
+        throughput-limited kernels).
+    epsilon:
+        Relative measurement tolerance (5 % in the paper): used for the
+        low-IPC filter (``IPC ≤ 1 - ε``), the disjointness test, the
+        saturation test and benchmark-coefficient rounding.
+    m_repeat:
+        ``M`` of the ``a^M b`` seed benchmarks of LP1 (4 in the paper).
+    l_repeat:
+        ``L`` of the ``i^i · sat[r]^L`` benchmarks of LPAUX (4 in the paper).
+    max_resources:
+        Upper bound on the number of abstract resources LP1 may introduce.
+    lp1_max_iterations:
+        Cap on the LP1 / benchmark-enrichment loop of Algorithm 2.
+    lp2_mode:
+        ``"exact"`` (MILP with per-kernel resource-selection binaries),
+        ``"heuristic"`` (alternating argmax/LP refinement) or ``"auto"``
+        (exact below ``lp2_exact_max_kernels`` kernels, heuristic above).
+    lp2_exact_max_kernels:
+        Threshold used by ``"auto"``.
+    lp2_heuristic_rounds:
+        Maximum number of alternating rounds of the heuristic BWP solver.
+    lpaux_mode:
+        Solver used for the per-instruction complete-mapping problems
+        (``"exact"`` by default: they are small, and the exact solver avoids
+        the local optima the alternating heuristic can fall into).
+    lp1_time_limit / lp1_mip_gap:
+        Time limit (seconds) and relative MIP gap for the LP1 shape ILP;
+        the incumbent solution is used when the limit is hit.
+    cluster_tolerance:
+        Relative tolerance of the hierarchical clustering used to build
+        equivalence classes of instructions.
+    quantize_coefficients:
+        Round benchmark multiplicities to small integers within ``epsilon``
+        (the paper's behaviour on real hardware).  Disabled by default
+        because the simulated backend accepts fractional multiplicities
+        exactly; enabled by the noise-robustness experiments.
+    separate_extensions:
+        Do not generate microbenchmarks mixing SSE-like and AVX-like
+        instructions (Sec. VI-A); the corresponding pairs are treated as
+        resource-disjoint during selection.
+    include_singleton_in_lpaux:
+        Also feed the single-instruction kernel to LPAUX (implementation
+        choice on top of Algorithm 5; anchors the total usage of the
+        instruction and measurably improves accuracy — see the ablation
+        bench).
+    edge_threshold:
+        Inferred usages below this value are dropped from the final mapping.
+    milp_time_limit:
+        Time limit (seconds) handed to the MILP solver for LP1/LP2.
+    """
+
+    n_basic: Optional[int] = None
+    n_basic_cap: int = 18
+    min_ipc: float = 0.05
+    epsilon: float = 0.05
+    m_repeat: int = 4
+    l_repeat: int = 4
+    max_resources: int = 14
+    lp1_max_iterations: int = 2
+    lp2_mode: str = "auto"
+    lp2_exact_max_kernels: int = 400
+    lp2_heuristic_rounds: int = 8
+    lpaux_mode: str = "exact"
+    lp1_time_limit: float = 30.0
+    lp1_mip_gap: float = 0.02
+    cluster_tolerance: float = 0.05
+    quantize_coefficients: bool = False
+    separate_extensions: bool = True
+    include_singleton_in_lpaux: bool = True
+    edge_threshold: float = 1e-3
+    milp_time_limit: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_basic is not None and self.n_basic < 2:
+            raise ValueError("n_basic must be at least 2 (or None for automatic sizing)")
+        if self.n_basic_cap < 2:
+            raise ValueError("n_basic_cap must be at least 2")
+        if not 0 < self.epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if self.lp2_mode not in ("exact", "heuristic", "auto"):
+            raise ValueError("lp2_mode must be 'exact', 'heuristic' or 'auto'")
+        if self.lpaux_mode not in ("exact", "heuristic"):
+            raise ValueError("lpaux_mode must be 'exact' or 'heuristic'")
+        if self.max_resources < 2:
+            raise ValueError("max_resources must be at least 2")
+        if self.m_repeat < 2 or self.l_repeat < 1:
+            raise ValueError("m_repeat must be >= 2 and l_repeat >= 1")
+
+    @property
+    def low_ipc_threshold(self) -> float:
+        """IPC below which an instruction is not a basic-instruction candidate."""
+        return 1.0 - self.epsilon
+
+    def target_basic_count(self, num_classes: int) -> int:
+        """Resolve ``n_basic``: explicit value, or one per class up to the cap."""
+        if self.n_basic is not None:
+            return self.n_basic
+        return max(2, min(num_classes, self.n_basic_cap))
+
+    def for_fast_tests(self) -> "PalmedConfig":
+        """A cheaper configuration used by the unit-test suite."""
+        return PalmedConfig(
+            n_basic=None,
+            n_basic_cap=10,
+            max_resources=10,
+            lp1_max_iterations=1,
+            lp1_time_limit=15.0,
+            lp2_mode="exact",
+            milp_time_limit=30.0,
+        )

@@ -1,0 +1,219 @@
+"""Core mapping and saturating kernels (Algorithm 2 of the paper).
+
+The core mapping assigns abstract resources to the basic instructions only.
+It alternates the LP1 shape problem with a benchmark-enrichment step (every
+discovered resource contributes one kernel combining all its users at their
+standalone IPC), then solves the LP2 weight problem once on the enriched
+benchmark set.  Finally, for every resource a *saturating kernel* is chosen:
+a measured kernel that loads the resource at full capacity while consuming
+as little of everything else as possible.  Saturating kernels are the lever
+the complete-mapping phase (LPAUX) uses to expose the resource usage of all
+remaining instructions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.basic_selection import BasicSelectionResult
+from repro.palmed.benchmarks import BenchmarkRunner, mixes_vector_extensions
+from repro.palmed.config import PalmedConfig
+from repro.palmed.lp1_shape import KernelObservation, ShapeMapping, solve_shape
+from repro.palmed.lp2_weights import (
+    WeightProblem,
+    WeightSolution,
+    kernel_resource_usage,
+    solve_weights,
+)
+
+
+def resource_label(index: int) -> str:
+    """Canonical name of the ``index``-th inferred abstract resource."""
+    return f"R{index}"
+
+
+@dataclass
+class CoreMappingResult:
+    """Outcome of Algorithm 2."""
+
+    shape: ShapeMapping
+    weights: WeightSolution
+    observations: List[KernelObservation]
+    saturating_kernels: Dict[int, Microkernel]
+    lp1_iterations: int
+    lp_time: float = 0.0
+    _mapping: Optional[ConjunctiveResourceMapping] = field(default=None, repr=False)
+
+    @property
+    def num_resources(self) -> int:
+        return self.shape.num_resources
+
+    @property
+    def basic_rho(self) -> Dict[Instruction, Dict[int, float]]:
+        """Inferred normalized usage of every basic instruction."""
+        return {inst: dict(weights) for inst, weights in self.weights.rho.items()}
+
+    def mapping(self, edge_threshold: float = 1e-3) -> ConjunctiveResourceMapping:
+        """The core conjunctive mapping (basic instructions only)."""
+        if self._mapping is not None:
+            return self._mapping
+        resources = {resource_label(r): 1.0 for r in range(self.num_resources)}
+        usage = {
+            instruction: {
+                resource_label(r): value
+                for r, value in weights.items()
+                if value >= edge_threshold
+            }
+            for instruction, weights in self.weights.rho.items()
+        }
+        self._mapping = ConjunctiveResourceMapping(resources, usage)
+        return self._mapping
+
+
+def _seed_observations(
+    runner: BenchmarkRunner, selection: BasicSelectionResult
+) -> List[KernelObservation]:
+    """The seed benchmark set of Algorithm 2: ``{a, a^a b^b, a^M b}``."""
+    observations: List[KernelObservation] = []
+    seen = set()
+
+    def add(kernel: Microkernel) -> None:
+        if kernel in seen:
+            return
+        seen.add(kernel)
+        observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+
+    basic = selection.basic
+    for instruction in basic:
+        add(Microkernel.single(instruction))
+    for i, a in enumerate(basic):
+        for b in basic[i + 1 :]:
+            if runner.config.separate_extensions and mixes_vector_extensions(a, b):
+                continue
+            add(runner.pair_kernel(a, b))
+            add(runner.repeated_pair_kernel(a, b))
+            add(runner.repeated_pair_kernel(b, a))
+    return observations
+
+
+def _enrichment_kernels(
+    runner: BenchmarkRunner,
+    shape: ShapeMapping,
+    single_ipc: Dict[Instruction, float],
+) -> List[Microkernel]:
+    """One kernel per discovered resource, combining all its users at their IPC."""
+    kernels: List[Microkernel] = []
+    for resource in range(shape.num_resources):
+        users = shape.users_of(resource)
+        if len(users) < 2:
+            continue
+        counts = {inst: max(single_ipc[inst], runner.config.min_ipc) for inst in users}
+        kernels.append(Microkernel(counts))
+    return kernels
+
+
+def _consumption(
+    observation: KernelObservation, rho: Dict[Instruction, Dict[int, float]]
+) -> float:
+    """Total resource consumption ``cons(K)`` of a kernel under the mapping."""
+    total = 0.0
+    for instruction, multiplicity in observation.kernel.items():
+        total += multiplicity * sum(rho.get(instruction, {}).values())
+    return total
+
+
+def _select_saturating_kernels(
+    result_rho: Dict[Instruction, Dict[int, float]],
+    observations: List[KernelObservation],
+    shape: ShapeMapping,
+    single_ipc: Dict[Instruction, float],
+    runner: BenchmarkRunner,
+    epsilon: float,
+) -> Dict[int, Microkernel]:
+    """Pick, for every resource, the cheapest kernel that saturates it.
+
+    If no measured kernel saturates a resource (possible when the LP settled
+    for sub-saturation), a synthetic one is built from the resource's users
+    weighted by the inverse of their usage, which saturates it by
+    construction of the inferred mapping.
+    """
+    saturating: Dict[int, Microkernel] = {}
+    for resource in range(shape.num_resources):
+        candidates = []
+        for observation in observations:
+            usage = kernel_resource_usage(observation, resource, result_rho, {})
+            if usage >= 1.0 - epsilon:
+                candidates.append((_consumption(observation, result_rho), observation))
+        if candidates:
+            candidates.sort(key=lambda item: (item[0], item[1].kernel.notation()))
+            saturating[resource] = candidates[0][1].kernel
+            continue
+        users = shape.users_of(resource)
+        counts = {}
+        for instruction in users:
+            weight = result_rho.get(instruction, {}).get(resource, 0.0)
+            if weight > 0:
+                counts[instruction] = max(single_ipc[instruction], runner.config.min_ipc)
+        if not counts and users:
+            counts = {users[0]: max(single_ipc[users[0]], runner.config.min_ipc)}
+        if counts:
+            saturating[resource] = Microkernel(counts)
+    return saturating
+
+
+def compute_core_mapping(
+    runner: BenchmarkRunner,
+    selection: BasicSelectionResult,
+    config: PalmedConfig,
+) -> CoreMappingResult:
+    """Run Algorithm 2: iterated LP1, LP2, saturating-kernel selection."""
+    single_ipc = {inst: runner.ipc_single(inst) for inst in selection.basic}
+    observations = _seed_observations(runner, selection)
+    known_kernels = {obs.kernel for obs in observations}
+
+    lp_time = 0.0
+    shape: Optional[ShapeMapping] = None
+    iterations = 0
+    for iterations in range(1, config.lp1_max_iterations + 1):
+        start = time.perf_counter()
+        shape = solve_shape(observations, selection, single_ipc, config)
+        lp_time += time.perf_counter() - start
+        new_kernels = [
+            kernel
+            for kernel in _enrichment_kernels(runner, shape, single_ipc)
+            if kernel not in known_kernels
+        ]
+        if not new_kernels:
+            break
+        for kernel in new_kernels:
+            known_kernels.add(kernel)
+            observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+    assert shape is not None
+
+    problem = WeightProblem(
+        observations=observations,
+        num_resources=shape.num_resources,
+        free_edges=shape.edges,
+        frozen_rho={},
+        rho_upper_bound=1.0,
+    )
+    start = time.perf_counter()
+    weights = solve_weights(problem, config)
+    lp_time += time.perf_counter() - start
+
+    saturating = _select_saturating_kernels(
+        weights.rho, observations, shape, single_ipc, runner, config.epsilon
+    )
+    return CoreMappingResult(
+        shape=shape,
+        weights=weights,
+        observations=observations,
+        saturating_kernels=saturating,
+        lp1_iterations=iterations,
+        lp_time=lp_time,
+    )

@@ -1,0 +1,273 @@
+"""LP2 / LPAUX — the Bipartite Weight Problem (Algorithm 4 of the paper).
+
+Given a set of measured microkernels and the admissible edges of the
+mapping, the BWP finds edge weights ``ρ_{i,r} ∈ [0, 1]`` such that for every
+kernel the predicted resource loads are consistent with the measured IPC:
+
+    ρ_{K,r} = (Σ_i σ_{K,i} ρ_{i,r}) · IPC(K) / |K|      (proportion of r used)
+    ρ_{K,r} ≤ 1                                          (capacity)
+    S_K = max_r ρ_{K,r}                                  (saturation of K)
+
+and the total prediction error ``Σ_K (1 - S_K)`` is minimized: an exactly
+predicted kernel has one fully saturated resource.
+
+``S_K = max_r ρ_{K,r}`` cannot be maximized directly in a pure LP, so two
+solvers are provided:
+
+* an **exact MILP** that introduces one binary selector per (kernel,
+  resource) pair choosing which resource realises the max;
+* an **alternating heuristic** that fixes the argmax resource of every
+  kernel, solves the resulting LP, recomputes the argmax from the solution
+  and repeats until the assignment stabilizes.  This is the default for
+  large kernel sets (the role Gurobi's scale plays in the original tool).
+
+The same routine serves LP2 (all basic-instruction weights free) and LPAUX
+(core weights frozen, a single instruction free, possibly unbounded above
+for low-IPC instructions), which only differ by their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.palmed.config import PalmedConfig
+from repro.palmed.lp1_shape import KernelObservation
+from repro.solvers import LinearExpression, Model, lin_sum
+
+
+@dataclass
+class WeightProblem:
+    """Inputs of one Bipartite Weight Problem instance."""
+
+    observations: Sequence[KernelObservation]
+    num_resources: int
+    free_edges: Mapping[Instruction, Set[int]]
+    frozen_rho: Mapping[Instruction, Mapping[int, float]]
+    rho_upper_bound: Optional[float] = 1.0
+    #: When the frozen part of the mapping alone already over-uses a resource
+    #: for some kernel (possible because the core is itself an approximation),
+    #: a hard capacity constraint would make the problem infeasible.  With
+    #: ``soft_capacity`` the capacity bound is relaxed to the frozen usage for
+    #: those kernels, which simply forbids the free instruction from adding
+    #: load there.  Used by LPAUX.
+    soft_capacity: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_resources <= 0:
+            raise ValueError("num_resources must be positive")
+        overlap = set(self.free_edges) & set(self.frozen_rho)
+        if overlap:
+            names = ", ".join(sorted(inst.name for inst in overlap))
+            raise ValueError(f"instructions both free and frozen: {names}")
+
+
+@dataclass
+class WeightSolution:
+    """Solution of a Bipartite Weight Problem."""
+
+    rho: Dict[Instruction, Dict[int, float]]
+    saturation: Dict[KernelObservation, float]
+    total_error: float
+
+    def saturated_kernels(self, resource: int, problem: WeightProblem,
+                          tolerance: float = 0.05) -> List[KernelObservation]:
+        """Kernels whose load on ``resource`` reaches (1 - tolerance)."""
+        result = []
+        for observation in problem.observations:
+            load = kernel_resource_usage(observation, resource, self.rho, problem.frozen_rho)
+            if load >= 1.0 - tolerance:
+                result.append(observation)
+        return result
+
+
+def kernel_resource_usage(
+    observation: KernelObservation,
+    resource: int,
+    free_rho: Mapping[Instruction, Mapping[int, float]],
+    frozen_rho: Mapping[Instruction, Mapping[int, float]],
+) -> float:
+    """Evaluate ``ρ_{K,r}`` for concrete edge weights."""
+    total = 0.0
+    for instruction, multiplicity in observation.kernel.items():
+        weights = free_rho.get(instruction) or frozen_rho.get(instruction) or {}
+        total += multiplicity * weights.get(resource, 0.0)
+    return total * observation.ipc / observation.kernel.size
+
+
+def solve_weights(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+    """Solve the BWP with the solver selected by the configuration."""
+    mode = config.lp2_mode
+    if mode == "auto":
+        mode = (
+            "exact"
+            if len(problem.observations) <= config.lp2_exact_max_kernels
+            else "heuristic"
+        )
+    if mode == "exact":
+        return solve_weights_exact(problem, config)
+    return solve_weights_heuristic(problem, config)
+
+
+# ---------------------------------------------------------------------------
+# Shared model construction
+# ---------------------------------------------------------------------------
+
+def _build_base_model(
+    problem: WeightProblem, name: str
+) -> Tuple[Model, Dict[Tuple[Instruction, int], object], Dict[int, Dict[int, LinearExpression]]]:
+    """Create the model with ρ variables and the per-kernel usage expressions."""
+    model = Model(name)
+    upper = problem.rho_upper_bound
+    rho_vars: Dict[Tuple[Instruction, int], object] = {}
+    for instruction in sorted(problem.free_edges, key=lambda inst: inst.name):
+        for resource in sorted(problem.free_edges[instruction]):
+            rho_vars[(instruction, resource)] = model.add_variable(
+                f"rho[{instruction.name},{resource}]",
+                lb=0.0,
+                ub=math.inf if upper is None else upper,
+            )
+
+    usage: Dict[int, Dict[int, LinearExpression]] = {}
+    for index, observation in enumerate(problem.observations):
+        usage[index] = {}
+        scale = observation.ipc / observation.kernel.size
+        for resource in range(problem.num_resources):
+            expr = LinearExpression()
+            for instruction, multiplicity in observation.kernel.items():
+                coefficient = multiplicity * scale
+                if instruction in problem.free_edges:
+                    if resource in problem.free_edges[instruction]:
+                        expr.add_term(rho_vars[(instruction, resource)], coefficient)
+                else:
+                    frozen = problem.frozen_rho.get(instruction, {})
+                    expr.constant += coefficient * frozen.get(resource, 0.0)
+            usage[index][resource] = expr
+            # Capacity: no resource can be used beyond its throughput.  When
+            # the frozen contribution alone exceeds it (soft_capacity), the
+            # bound degrades gracefully to "the free part adds nothing".
+            bound = 1.0
+            if problem.soft_capacity and expr.constant > 1.0:
+                bound = expr.constant
+            model.add_constraint(expr <= bound)
+    return model, rho_vars, usage
+
+
+def _extract_solution(
+    problem: WeightProblem,
+    solution,
+    rho_vars: Mapping[Tuple[Instruction, int], object],
+    saturation_values: Mapping[int, float],
+) -> WeightSolution:
+    rho: Dict[Instruction, Dict[int, float]] = {}
+    for (instruction, resource), variable in rho_vars.items():
+        value = float(solution[variable])
+        if value < 0:
+            value = 0.0
+        rho.setdefault(instruction, {})[resource] = value
+    for instruction in problem.free_edges:
+        rho.setdefault(instruction, {})
+    saturation = {
+        observation: saturation_values[index]
+        for index, observation in enumerate(problem.observations)
+    }
+    total_error = sum(1.0 - value for value in saturation.values())
+    return WeightSolution(rho=rho, saturation=saturation, total_error=total_error)
+
+
+# ---------------------------------------------------------------------------
+# Exact MILP
+# ---------------------------------------------------------------------------
+
+def solve_weights_exact(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+    """Exact BWP: per-kernel binaries select the saturated resource."""
+    model, rho_vars, usage = _build_base_model(problem, "lp2-bwp-exact")
+
+    saturation_vars = {}
+    for index, observation in enumerate(problem.observations):
+        s_var = model.add_variable(f"S[{index}]", lb=0.0, ub=1.0)
+        saturation_vars[index] = s_var
+        selectors = []
+        for resource in range(problem.num_resources):
+            selector = model.add_binary(f"sel[{index},{resource}]")
+            selectors.append(selector)
+            # When this resource is selected, S_K may not exceed its usage.
+            model.add_constraint(s_var - usage[index][resource] + selector <= 1.0)
+        model.add_constraint(lin_sum(selectors) >= 1.0)
+
+    objective = lin_sum(saturation_vars.values()) - 1e-4 * lin_sum(rho_vars.values())
+    model.maximize(objective)
+    solution = model.solve(time_limit=config.milp_time_limit)
+
+    saturation_values = {
+        index: float(solution[s_var]) for index, s_var in saturation_vars.items()
+    }
+    return _extract_solution(problem, solution, rho_vars, saturation_values)
+
+
+# ---------------------------------------------------------------------------
+# Alternating heuristic
+# ---------------------------------------------------------------------------
+
+def solve_weights_heuristic(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+    """Alternating argmax / LP refinement of the BWP.
+
+    Starting from the resource with the largest *potential* usage for every
+    kernel, the heuristic solves the LP with the saturation constrained by
+    that resource only, then recomputes every kernel's argmax resource from
+    the solution and repeats.  The objective is non-decreasing across rounds
+    (the previous solution stays feasible when the assignment is unchanged),
+    and the loop stops as soon as the assignment is stable.
+    """
+    num_resources = problem.num_resources
+
+    def potential_usage(observation: KernelObservation, resource: int) -> float:
+        total = 0.0
+        for instruction, multiplicity in observation.kernel.items():
+            if instruction in problem.free_edges:
+                if resource in problem.free_edges[instruction]:
+                    total += multiplicity
+            else:
+                total += multiplicity * problem.frozen_rho.get(instruction, {}).get(resource, 0.0)
+        return total * observation.ipc / observation.kernel.size
+
+    assignment: List[int] = []
+    for observation in problem.observations:
+        best = max(range(num_resources), key=lambda r: potential_usage(observation, r))
+        assignment.append(best)
+
+    best_result: Optional[WeightSolution] = None
+    for _ in range(max(1, config.lp2_heuristic_rounds)):
+        model, rho_vars, usage = _build_base_model(problem, "lp2-bwp-heuristic")
+        saturation_vars = {}
+        for index, observation in enumerate(problem.observations):
+            s_var = model.add_variable(f"S[{index}]", lb=0.0, ub=1.0)
+            saturation_vars[index] = s_var
+            model.add_constraint(s_var - usage[index][assignment[index]] <= 0.0)
+        objective = lin_sum(saturation_vars.values()) - 1e-4 * lin_sum(rho_vars.values())
+        model.maximize(objective)
+        solution = model.solve(time_limit=config.milp_time_limit)
+
+        saturation_values = {}
+        rho_values: Dict[Instruction, Dict[int, float]] = {}
+        for (instruction, resource), variable in rho_vars.items():
+            rho_values.setdefault(instruction, {})[resource] = float(solution[variable])
+        new_assignment = []
+        for index, observation in enumerate(problem.observations):
+            loads = [
+                kernel_resource_usage(observation, r, rho_values, problem.frozen_rho)
+                for r in range(num_resources)
+            ]
+            new_assignment.append(int(max(range(num_resources), key=lambda r: loads[r])))
+            saturation_values[index] = min(1.0, max(loads))
+        result = _extract_solution(problem, solution, rho_vars, saturation_values)
+        if best_result is None or result.total_error < best_result.total_error - 1e-9:
+            best_result = result
+        if new_assignment == assignment:
+            break
+        assignment = new_assignment
+
+    assert best_result is not None
+    return best_result

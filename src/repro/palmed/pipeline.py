@@ -1,0 +1,151 @@
+"""The end-to-end PALMED driver (Fig. 3 of the paper).
+
+``Palmed`` chains the three stages — quadratic benchmarking + basic
+instruction selection, core mapping, complete mapping — over a measurement
+backend, and assembles the final conjunctive resource mapping together with
+the Table II statistics (number of benchmarks, resources found, instructions
+mapped, benchmarking vs. LP solving time).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.palmed.basic_selection import select_basic_instructions
+from repro.palmed.benchmarks import BenchmarkRunner
+from repro.palmed.complete_mapping import complete_mapping
+from repro.palmed.config import PalmedConfig
+from repro.palmed.core_mapping import CoreMappingResult, compute_core_mapping, resource_label
+from repro.palmed.quadratic import QuadraticBenchmarks
+from repro.palmed.result import PalmedResult, PalmedStats
+from repro.simulator.backend import MeasurementBackend
+
+
+class Palmed:
+    """Automatic construction of a resource mapping from cycle measurements.
+
+    Parameters
+    ----------
+    backend:
+        The measurement backend ("the hardware"): anything implementing
+        :class:`repro.simulator.MeasurementBackend`.
+    instructions:
+        The instructions to characterize.  Non-benchmarkable instructions
+        (those the microbenchmark generator cannot instrument) are dropped,
+        as are instructions whose standalone IPC is below ``config.min_ipc``.
+    config:
+        Pipeline parameters; defaults to :class:`PalmedConfig`.
+    machine_name:
+        Label used in the statistics (defaults to the backend's machine name
+        when available).
+    """
+
+    def __init__(
+        self,
+        backend: MeasurementBackend,
+        instructions: Sequence[Instruction],
+        config: Optional[PalmedConfig] = None,
+        machine_name: Optional[str] = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config if config is not None else PalmedConfig()
+        self.runner = BenchmarkRunner(backend, self.config)
+        self.instructions: List[Instruction] = sorted(set(instructions), key=lambda i: i.name)
+        if machine_name is None:
+            machine = getattr(backend, "machine", None)
+            machine_name = getattr(machine, "name", "unknown-machine")
+        self.machine_name = machine_name
+
+    # ------------------------------------------------------------------
+    def run(self) -> PalmedResult:
+        """Run the full pipeline and return the inferred mapping."""
+        start_total = time.perf_counter()
+
+        benchmarkable = [inst for inst in self.instructions if inst.is_benchmarkable]
+        usable, discarded_slow = self._filter_by_ipc(benchmarkable)
+
+        bench_start = time.perf_counter()
+        quadratic = QuadraticBenchmarks(self.runner, usable)
+        selection = select_basic_instructions(quadratic, self.config)
+        benchmarking_time = time.perf_counter() - bench_start
+
+        core = compute_core_mapping(self.runner, selection, self.config)
+
+        lpaux_start = time.perf_counter()
+        remaining = complete_mapping(self.runner, usable, core, self.config)
+        lpaux_time = time.perf_counter() - lpaux_start
+
+        mapping = self._assemble_mapping(core, remaining)
+        total_time = time.perf_counter() - start_total
+
+        stats = PalmedStats(
+            machine_name=self.machine_name,
+            num_instructions_total=len(self.instructions),
+            num_benchmarkable=len(benchmarkable),
+            num_instructions_mapped=len(mapping.instructions),
+            num_basic_instructions=len(selection.basic),
+            num_resources=core.num_resources,
+            num_benchmarks=self.runner.num_benchmarks,
+            num_equivalence_classes=selection.num_classes,
+            num_low_ipc=len(selection.low_ipc) + len(discarded_slow),
+            lp1_iterations=core.lp1_iterations,
+            benchmarking_time=benchmarking_time,
+            lp_time=core.lp_time + lpaux_time,
+            total_time=total_time,
+        )
+        saturating = {
+            resource_label(index): kernel
+            for index, kernel in core.saturating_kernels.items()
+        }
+        return PalmedResult(
+            mapping=mapping,
+            stats=stats,
+            selection=selection,
+            core=core,
+            saturating_kernels=saturating,
+        )
+
+    # ------------------------------------------------------------------
+    def _filter_by_ipc(
+        self, instructions: Iterable[Instruction]
+    ) -> tuple[List[Instruction], List[Instruction]]:
+        """Drop instructions whose standalone IPC is below ``min_ipc``."""
+        usable: List[Instruction] = []
+        discarded: List[Instruction] = []
+        for instruction in instructions:
+            if self.runner.ipc_single(instruction) < self.config.min_ipc:
+                discarded.append(instruction)
+            else:
+                usable.append(instruction)
+        return usable, discarded
+
+    def _assemble_mapping(
+        self,
+        core: CoreMappingResult,
+        remaining: Dict[Instruction, Dict[int, float]],
+    ) -> ConjunctiveResourceMapping:
+        """Merge core and LPAUX results into the final normalized mapping."""
+        resources = {resource_label(r): 1.0 for r in range(core.num_resources)}
+        usage: Dict[Instruction, Dict[str, float]] = {}
+        for instruction, weights in core.basic_rho.items():
+            usage[instruction] = {
+                resource_label(r): value
+                for r, value in weights.items()
+                if value >= self.config.edge_threshold
+            }
+        for instruction, weights in remaining.items():
+            usage[instruction] = {
+                resource_label(r): value
+                for r, value in weights.items()
+                if value >= self.config.edge_threshold
+            }
+        # Instructions whose inferred usage came out empty cannot be
+        # meaningfully predicted by the model: they are reported as
+        # *unmapped* (the paper's "instructions mapped" is likewise smaller
+        # than "instructions supported") rather than silently predicted with
+        # a near-infinite throughput.
+        usage = {instruction: uses for instruction, uses in usage.items() if uses}
+        return ConjunctiveResourceMapping(resources, usage)

@@ -1,0 +1,134 @@
+"""Quadratic (pairwise) benchmarking.
+
+The first stage of PALMED measures, for every pair of candidate instructions
+``(a, b)``, the IPC of the kernel ``a^IPC(a) b^IPC(b)``.  The resulting
+matrix drives the equivalence-class clustering, the disjointness relation and
+the greediness pre-order of Algorithm 1.  The number of measurements is
+quadratic in the number of candidates — the paper's motivation for trimming
+the instruction set to a small basic set before solving any LP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.benchmarks import BenchmarkRunner, mixes_vector_extensions
+
+
+class QuadraticBenchmarks:
+    """Pairwise benchmark measurements over a set of candidate instructions.
+
+    Parameters
+    ----------
+    runner:
+        The measurement front-end.
+    instructions:
+        Candidate instructions (already filtered to benchmarkable ones).
+    """
+
+    def __init__(self, runner: BenchmarkRunner, instructions: Sequence[Instruction]) -> None:
+        self.runner = runner
+        self.instructions: Tuple[Instruction, ...] = tuple(
+            sorted(set(instructions), key=lambda inst: inst.name)
+        )
+        self._single_ipc: Dict[Instruction, float] = {}
+        self._pair_ipc: Dict[Tuple[Instruction, Instruction], float] = {}
+        self._unmeasurable: set = set()
+        self._measure()
+
+    def _measure(self) -> None:
+        config = self.runner.config
+        for instruction in self.instructions:
+            self._single_ipc[instruction] = self.runner.ipc_single(instruction)
+        for i, a in enumerate(self.instructions):
+            for b in self.instructions[i + 1 :]:
+                if config.separate_extensions and mixes_vector_extensions(a, b):
+                    # Forbidden benchmark (SSE+AVX mix): the pair cannot be
+                    # measured.  The signature falls back to the additive
+                    # value for clustering purposes, but the pair is recorded
+                    # as unmeasurable so that no conclusion (in particular
+                    # not disjointness) is drawn from it.
+                    value = self._single_ipc[a] + self._single_ipc[b]
+                    self._unmeasurable.add((a, b))
+                    self._unmeasurable.add((b, a))
+                else:
+                    value = self.runner.ipc(self.runner.pair_kernel(a, b))
+                self._pair_ipc[(a, b)] = value
+                self._pair_ipc[(b, a)] = value
+
+    # -- accessors -------------------------------------------------------------
+    def single_ipc(self, instruction: Instruction) -> float:
+        """Standalone IPC of an instruction."""
+        return self._single_ipc[instruction]
+
+    def pair_ipc(self, a: Instruction, b: Instruction) -> float:
+        """IPC of the quadratic benchmark ``aabb`` (symmetric in a and b)."""
+        if a == b:
+            return self._single_ipc[a]
+        return self._pair_ipc[(a, b)]
+
+    def is_measurable(self, a: Instruction, b: Instruction) -> bool:
+        """Whether the pair benchmark could actually be generated and run."""
+        return (a, b) not in self._unmeasurable
+
+    def are_disjoint(self, a: Instruction, b: Instruction, epsilon: float) -> bool:
+        """Disjointness test of Algorithm 1: ``aabb == IPC(a) + IPC(b)``.
+
+        Unmeasurable pairs (mixed vector extensions) are conservatively
+        reported as non-disjoint: disjointness can only be concluded from an
+        actual measurement.
+        """
+        if a == b or not self.is_measurable(a, b):
+            return False
+        expected = self._single_ipc[a] + self._single_ipc[b]
+        return abs(self.pair_ipc(a, b) - expected) <= epsilon * expected
+
+    def behaviour_vector(self, instruction: Instruction) -> np.ndarray:
+        """The clustering feature vector of an instruction.
+
+        Concatenates the standalone IPC with the pairwise IPC against every
+        candidate (the ``∀p, aapp`` signature of the equivalence-class test).
+        """
+        values = [self._single_ipc[instruction]]
+        values.extend(
+            self.pair_ipc(instruction, other) for other in self.instructions
+        )
+        return np.asarray(values, dtype=float)
+
+    def greediness_score(self, instruction: Instruction) -> float:
+        """Total pairwise IPC — *larger* means the instruction is greedier.
+
+        Following the paper's pre-order (``a`` is more greedy than ``b`` when
+        ``∀p, aapp ≥ bbpp``): a greedy instruction keeps the combined IPC
+        high against every partner because it can fall back to many
+        alternative ports — it is a port hog that uses wide combined
+        resources.  Summing the pairwise IPCs gives a total order compatible
+        with that pre-order; the selection keeps the highest scores.
+        """
+        return float(
+            sum(self.pair_ipc(instruction, other) for other in self.instructions
+                if other != instruction)
+        )
+
+    def pair_kernel(self, a: Instruction, b: Instruction) -> Microkernel:
+        """The kernel whose measurement is reported by :meth:`pair_ipc`."""
+        return self.runner.pair_kernel(a, b)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct measured pairs."""
+        return len(self._pair_ipc) // 2
+
+    def as_matrix(self) -> Tuple[List[Instruction], np.ndarray]:
+        """Dense pairwise-IPC matrix (diagonal = standalone IPC)."""
+        order = list(self.instructions)
+        size = len(order)
+        matrix = np.zeros((size, size))
+        for i, a in enumerate(order):
+            for j, b in enumerate(order):
+                matrix[i, j] = self.pair_ipc(a, b)
+        return order, matrix

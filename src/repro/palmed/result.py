@@ -1,0 +1,122 @@
+"""Result of a PALMED run: the inferred mapping plus run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping, UnknownInstructionError
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.basic_selection import BasicSelectionResult
+from repro.palmed.core_mapping import CoreMappingResult
+
+
+@dataclass
+class PalmedStats:
+    """The "main features of the obtained mapping" statistics (Table II)."""
+
+    machine_name: str
+    num_instructions_total: int
+    num_benchmarkable: int
+    num_instructions_mapped: int
+    num_basic_instructions: int
+    num_resources: int
+    num_benchmarks: int
+    num_equivalence_classes: int
+    num_low_ipc: int
+    lp1_iterations: int
+    benchmarking_time: float
+    lp_time: float
+    total_time: float
+
+    def as_table_rows(self) -> List[Tuple[str, str]]:
+        """Rows formatted like Table II of the paper."""
+        return [
+            ("Machine", self.machine_name),
+            ("Benchmarking time (s)", f"{self.benchmarking_time:.2f}"),
+            ("LP solving time (s)", f"{self.lp_time:.2f}"),
+            ("Overall time (s)", f"{self.total_time:.2f}"),
+            ("Gen. microbenchmarks", str(self.num_benchmarks)),
+            ("Resources found", str(self.num_resources)),
+            ("Instructions supported", str(self.num_benchmarkable)),
+            ("Instructions mapped", str(self.num_instructions_mapped)),
+            ("Basic instructions", str(self.num_basic_instructions)),
+            ("Equivalence classes", str(self.num_equivalence_classes)),
+        ]
+
+    def format_table(self) -> str:
+        rows = self.as_table_rows()
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label.ljust(width)}  {value}" for label, value in rows)
+
+
+@dataclass
+class PalmedResult:
+    """Everything produced by one :class:`repro.palmed.Palmed` run."""
+
+    mapping: ConjunctiveResourceMapping
+    stats: PalmedStats
+    selection: BasicSelectionResult
+    core: CoreMappingResult
+    saturating_kernels: Dict[str, Microkernel] = field(default_factory=dict)
+
+    # -- prediction interface -------------------------------------------------
+    def supports(self, instruction: Instruction) -> bool:
+        """Whether the instruction was mapped."""
+        return self.mapping.supports(instruction)
+
+    def supported_fraction(self, kernel: Microkernel) -> float:
+        """Fraction of the kernel's instructions (weighted) that are mapped."""
+        total = kernel.size
+        supported = sum(
+            count for instruction, count in kernel.items() if self.supports(instruction)
+        )
+        return supported / total if total else 0.0
+
+    def predict_cycles(self, kernel: Microkernel) -> float:
+        """Predicted steady-state cycles per kernel iteration."""
+        return self.mapping.cycles(kernel)
+
+    def predict_ipc(self, kernel: Microkernel) -> float:
+        """Predicted steady-state IPC of a kernel.
+
+        Raises :class:`UnknownInstructionError` if the kernel contains an
+        instruction PALMED did not map.
+        """
+        return self.mapping.ipc(kernel)
+
+    def predict_ipc_partial(self, kernel: Microkernel) -> Optional[float]:
+        """Predict ignoring unmapped instructions (paper's PMEvo protocol).
+
+        Unsupported instructions are treated as using no resource at all;
+        returns ``None`` when no instruction of the kernel is supported.
+        """
+        supported = {
+            instruction: count
+            for instruction, count in kernel.items()
+            if self.supports(instruction)
+        }
+        if not supported:
+            return None
+        reduced = Microkernel(supported)
+        cycles = self.mapping.cycles(reduced)
+        if cycles <= 0:
+            return None
+        return kernel.size / cycles
+
+    def bottleneck(self, kernel: Microkernel) -> Tuple[str, ...]:
+        """The abstract resources limiting the kernel's throughput."""
+        return self.mapping.bottlenecks(kernel)
+
+    def explain(self, kernel: Microkernel) -> str:
+        """Human-readable per-resource load report for a kernel."""
+        loads = self.mapping.load_per_resource(kernel)
+        cycles = max(loads.values())
+        lines = [f"kernel {kernel.notation()}"]
+        lines.append(f"  predicted cycles/iteration: {cycles:.3f}")
+        lines.append(f"  predicted IPC             : {kernel.size / cycles:.3f}")
+        for resource in sorted(loads, key=lambda r: -loads[r]):
+            marker = "  <-- bottleneck" if abs(loads[resource] - cycles) < 1e-9 else ""
+            lines.append(f"    {resource:12s} load {loads[resource]:.3f}{marker}")
+        return "\n".join(lines)

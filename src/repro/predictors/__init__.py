@@ -1,0 +1,44 @@
+"""Throughput predictors: PALMED and the baselines of the evaluation.
+
+The paper (Sec. VI) compares PALMED's IPC predictions against four tools.
+None of them can be run here (IACA is closed-source and deprecated,
+llvm-mca and uops.info need real x86 encodings, PMEvo needs hours of
+benchmarking on real hardware), so each is replaced by a predictor that
+reproduces *how the paper evaluates it*:
+
+``PalmedPredictor``
+    Wraps a :class:`~repro.palmed.PalmedResult` (or any conjunctive
+    mapping inferred from measurements).
+``UopsInfoPredictor``
+    The ground-truth port mapping evaluated "with exact compatibility and
+    approximating the execution time by the port with the highest usage",
+    i.e. the machine's conjunctive dual *without* any non-port resource —
+    this is literally the protocol of Sec. VI.B item (3).
+``IacaLikePredictor`` / ``LlvmMcaPredictor``
+    Expert static analyzers: ground-truth port mapping plus a front-end
+    model, with configurable per-instruction table errors and coverage
+    gaps mimicking hand-maintained scheduler models.  IACA only supports
+    the Intel machine, as in the paper.
+``PMEvoPredictor``
+    A reimplementation of PMEvo's approach: evolutionary inference of a
+    disjunctive instruction → port-set mapping from pairwise benchmarks,
+    with restricted instruction coverage.
+"""
+
+from repro.predictors.base import Prediction, Predictor
+from repro.predictors.palmed_predictor import PalmedPredictor
+from repro.predictors.portmap_oracle import UopsInfoPredictor
+from repro.predictors.static_analyzer import IacaLikePredictor, LlvmMcaPredictor
+from repro.predictors.pmevo import PMEvoConfig, PMEvoPredictor, train_pmevo
+
+__all__ = [
+    "IacaLikePredictor",
+    "LlvmMcaPredictor",
+    "PMEvoConfig",
+    "PMEvoPredictor",
+    "PalmedPredictor",
+    "Prediction",
+    "Predictor",
+    "UopsInfoPredictor",
+    "train_pmevo",
+]

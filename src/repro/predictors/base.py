@@ -1,0 +1,46 @@
+"""The common predictor interface used by the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of asking a tool about one kernel.
+
+    ``ipc`` is ``None`` when the tool could not process the kernel at all
+    (no supported instruction); ``supported_fraction`` reports how much of
+    the kernel the tool actually modeled — the paper's coverage metric
+    counts a kernel as covered when the tool processed it, possibly in
+    degraded mode.
+    """
+
+    ipc: Optional[float]
+    supported_fraction: float = 1.0
+
+    @property
+    def is_full_support(self) -> bool:
+        return self.ipc is not None and self.supported_fraction >= 1.0 - 1e-9
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """A throughput predictor: a name plus a per-kernel IPC estimate."""
+
+    @property
+    def name(self) -> str:
+        """Short tool name used in tables (e.g. ``"uops.info"``)."""
+        ...
+
+    def supports(self, instruction: Instruction) -> bool:
+        """Whether the tool models this instruction at all."""
+        ...
+
+    def predict(self, kernel: Microkernel) -> Prediction:
+        """Predicted IPC (and coverage) for a kernel."""
+        ...

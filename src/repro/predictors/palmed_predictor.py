@@ -1,0 +1,58 @@
+"""Predictor wrapping a PALMED-inferred conjunctive mapping."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.result import PalmedResult
+from repro.predictors.base import Prediction
+
+
+class PalmedPredictor:
+    """IPC predictions from an inferred conjunctive resource mapping.
+
+    Accepts either a :class:`~repro.palmed.PalmedResult` or a bare
+    :class:`~repro.mapping.ConjunctiveResourceMapping` (e.g. one loaded from
+    JSON), so mappings can be stored and reused without re-running the
+    inference.
+    """
+
+    def __init__(
+        self,
+        source: Union[PalmedResult, ConjunctiveResourceMapping],
+        name: str = "Palmed",
+    ) -> None:
+        if isinstance(source, PalmedResult):
+            self.mapping = source.mapping
+        else:
+            self.mapping = source
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def supports(self, instruction: Instruction) -> bool:
+        return self.mapping.supports(instruction)
+
+    def predict(self, kernel: Microkernel) -> Prediction:
+        supported = {
+            instruction: count
+            for instruction, count in kernel.items()
+            if self.mapping.supports(instruction)
+        }
+        fraction = sum(supported.values()) / kernel.size if kernel.size else 0.0
+        if not supported:
+            return Prediction(ipc=None, supported_fraction=0.0)
+        reduced = Microkernel(supported)
+        cycles = self.mapping.cycles(reduced)
+        if cycles <= 0:
+            return Prediction(ipc=None, supported_fraction=fraction)
+        return Prediction(ipc=kernel.size / cycles, supported_fraction=fraction)
+
+    def predict_ipc(self, kernel: Microkernel) -> Optional[float]:
+        """Convenience accessor returning just the IPC (or None)."""
+        return self.predict(kernel).ipc

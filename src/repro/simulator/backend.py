@@ -1,0 +1,33 @@
+"""The measurement-backend interface PALMED runs against."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.mapping.microkernel import Microkernel
+
+
+@runtime_checkable
+class MeasurementBackend(Protocol):
+    """Anything able to report the steady-state behaviour of a microkernel.
+
+    PALMED (Sec. V) only ever needs two numbers per benchmark: the elapsed
+    cycles per loop iteration and the derived instructions-per-cycle rate.
+    Implementations are expected to be deterministic for a given kernel so
+    that the inference is reproducible, and to count how many distinct
+    benchmarks they were asked to run (the paper's "generated
+    microbenchmarks" statistic of Table II).
+    """
+
+    def cycles(self, kernel: Microkernel) -> float:
+        """Steady-state cycles per loop iteration of the kernel."""
+        ...
+
+    def ipc(self, kernel: Microkernel) -> float:
+        """Steady-state instructions per cycle of the kernel."""
+        ...
+
+    @property
+    def measurement_count(self) -> int:
+        """Number of distinct microbenchmarks measured so far."""
+        ...

@@ -1,0 +1,72 @@
+"""Measurement-noise models for the simulated hardware.
+
+Real cycle measurements fluctuate; the paper absorbs this by rounding
+benchmark coefficients and IPCs within a 5 % tolerance (Sec. VI-A).  The
+:class:`MeasurementNoise` model reproduces the phenomenon: a deterministic,
+per-kernel multiplicative perturbation (so that re-measuring the same kernel
+returns the same value, as a well-warmed-up benchmark harness would) plus an
+optional quantization of the reported cycle count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.mapping.microkernel import Microkernel
+
+
+@dataclass(frozen=True)
+class MeasurementNoise:
+    """Deterministic multiplicative noise plus cycle quantization.
+
+    Attributes
+    ----------
+    relative_stddev:
+        Standard deviation of the multiplicative perturbation (e.g. 0.02 for
+        2 % noise).  Zero disables the perturbation.
+    quantization:
+        Resolution of the reported cycle count (e.g. 0.01 cycles).  Zero
+        disables quantization.
+    seed:
+        Seed mixed into the per-kernel hash.
+    """
+
+    relative_stddev: float = 0.0
+    quantization: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.relative_stddev < 0:
+            raise ValueError("relative_stddev must be non-negative")
+        if self.quantization < 0:
+            raise ValueError("quantization must be non-negative")
+
+    def apply(self, kernel: Microkernel, cycles: float) -> float:
+        """Perturb a true cycle count for the given kernel."""
+        noisy = cycles
+        if self.relative_stddev > 0:
+            noisy *= 1.0 + self.relative_stddev * self._unit_normal(kernel)
+        if self.quantization > 0:
+            noisy = round(noisy / self.quantization) * self.quantization
+        return max(noisy, 1e-9)
+
+    def _unit_normal(self, kernel: Microkernel) -> float:
+        """A deterministic pseudo-normal draw in roughly [-3, 3] per kernel."""
+        digest = hashlib.sha256()
+        digest.update(struct.pack("<q", self.seed))
+        for instruction, count in kernel.items():
+            digest.update(instruction.name.encode("utf-8"))
+            digest.update(struct.pack("<d", count))
+        raw = digest.digest()
+        # Sum of 12 uniforms in [0,1) minus 6 approximates a standard normal
+        # (Irwin-Hall); each uniform comes from two digest bytes.
+        uniforms = [
+            int.from_bytes(raw[2 * i : 2 * i + 2], "little") / 65536.0 for i in range(12)
+        ]
+        return sum(uniforms) - 6.0
+
+    @property
+    def is_noiseless(self) -> bool:
+        return self.relative_stddev == 0.0 and self.quantization == 0.0

@@ -1,0 +1,45 @@
+"""Linear and mixed-integer programming substrate.
+
+PALMED's reference implementation relies on PuLP/Gurobi.  This package
+provides an equivalent, self-contained modeling layer (variables, linear
+expressions, constraints, objective) backed by :func:`scipy.optimize.milp`
+(the HiGHS solver), which handles both pure LPs and MILPs.
+
+Public API
+----------
+``Model``
+    The modeling object: create variables, add constraints, set the
+    objective and solve.
+``Variable``, ``LinearExpression``, ``Constraint``
+    Building blocks returned/consumed by :class:`Model`.
+``Solution``, ``SolveStatus``
+    Result of :meth:`Model.solve`.
+``SolverError``, ``InfeasibleError``, ``UnboundedError``
+    Exceptions raised on modeling or solving failures.
+"""
+
+from repro.solvers.lp import (
+    Constraint,
+    InfeasibleError,
+    LinearExpression,
+    Model,
+    Solution,
+    SolverError,
+    SolveStatus,
+    UnboundedError,
+    Variable,
+    lin_sum,
+)
+
+__all__ = [
+    "Constraint",
+    "InfeasibleError",
+    "LinearExpression",
+    "Model",
+    "Solution",
+    "SolverError",
+    "SolveStatus",
+    "UnboundedError",
+    "Variable",
+    "lin_sum",
+]

@@ -1,0 +1,33 @@
+"""Basic-block workload substrate.
+
+The paper evaluates throughput predictions on microkernels built from the
+instruction mixes of basic blocks extracted from SPECint2017 (via static
+binary analysis + performance counters) and PolyBench/C (via QEMU
+translation-block tracing).  Neither the binaries nor the extraction
+toolchain are available here, so this package generates *synthetic suites*
+with the same statistical character:
+
+* :func:`generate_spec_like_suite` — control-flow- and integer-heavy blocks
+  with realistic length and execution-weight distributions;
+* :func:`generate_polybench_like_suite` — floating-point/SIMD numerical
+  loop bodies lowered from explicit kernel descriptions (gemm, jacobi,
+  atax, ...), in scalar, SSE-like and AVX-like variants.
+
+Every generated block carries an execution weight used by the evaluation
+harness exactly like the paper's weighted RMS error.
+"""
+
+from repro.workloads.basic_block import BasicBlock, BenchmarkSuite
+from repro.workloads.spec_like import generate_spec_like_suite
+from repro.workloads.polybench_like import generate_polybench_like_suite
+from repro.workloads.kernels import KERNEL_SPECS, KernelSpec, lower_kernel
+
+__all__ = [
+    "BasicBlock",
+    "BenchmarkSuite",
+    "KERNEL_SPECS",
+    "KernelSpec",
+    "generate_polybench_like_suite",
+    "generate_spec_like_suite",
+    "lower_kernel",
+]

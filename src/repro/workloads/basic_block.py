@@ -1,0 +1,93 @@
+"""Basic blocks and benchmark suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One basic block of a benchmark suite.
+
+    The evaluation (Sec. VI.B) turns each extracted basic block into a
+    microkernel with the same instruction mix and compares the predicted
+    throughput of that microkernel across tools, weighting each block by how
+    often it was executed.
+    """
+
+    name: str
+    kernel: Microkernel
+    weight: float = 1.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("basic-block weight must be positive")
+
+    @property
+    def num_instructions(self) -> float:
+        return self.kernel.size
+
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return self.kernel.instructions
+
+
+@dataclass
+class BenchmarkSuite:
+    """A named collection of weighted basic blocks."""
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [block.name for block in self.blocks]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate basic-block names in suite {self.name!r}")
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(block.weight for block in self.blocks)
+
+    def add(self, block: BasicBlock) -> None:
+        if any(existing.name == block.name for existing in self.blocks):
+            raise ValueError(f"duplicate basic-block name {block.name!r}")
+        self.blocks.append(block)
+
+    def filtered(self, predicate: Callable[[BasicBlock], bool]) -> "BenchmarkSuite":
+        """A new suite keeping only the blocks satisfying ``predicate``."""
+        return BenchmarkSuite(
+            name=self.name, blocks=[block for block in self.blocks if predicate(block)]
+        )
+
+    def restricted_to(self, instructions: Iterable[Instruction]) -> "BenchmarkSuite":
+        """Keep only blocks whose instructions are all in ``instructions``."""
+        allowed = set(instructions)
+        return self.filtered(
+            lambda block: all(inst in allowed for inst in block.instructions())
+        )
+
+    def instruction_histogram(self) -> Dict[Instruction, float]:
+        """Total (weighted) multiplicity of every instruction across the suite."""
+        histogram: Dict[Instruction, float] = {}
+        for block in self.blocks:
+            for instruction, count in block.kernel.items():
+                histogram[instruction] = histogram.get(instruction, 0.0) + count * block.weight
+        return histogram
+
+    def summary(self) -> str:
+        sizes = [block.num_instructions for block in self.blocks] or [0.0]
+        return (
+            f"Suite {self.name}: {len(self.blocks)} blocks, "
+            f"avg {sum(sizes) / len(sizes):.1f} instructions/block, "
+            f"{len(self.instruction_histogram())} distinct instructions"
+        )

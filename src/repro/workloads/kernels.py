@@ -1,0 +1,180 @@
+"""Polybench kernel descriptions and their lowering to instruction mixes.
+
+PolyBench/C kernels are dense linear-algebra and stencil loop nests.  For
+throughput evaluation only the steady-state instruction mix of the innermost
+loop body matters, so each kernel is described by its per-iteration operation
+counts (loads, stores, FP multiplies/additions/FMAs, address updates,
+compare-and-branch) and lowered onto whatever concrete instructions the
+target ISA provides for those operations, in a scalar, SSE-like (128-bit) or
+AVX-like (256-bit) variant — mirroring how a compiler would vectorize the
+loop at different widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.mapping.microkernel import Microkernel
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Per-iteration operation counts of one loop kernel."""
+
+    name: str
+    loads: int
+    stores: int
+    fp_mul: int
+    fp_add: int
+    fp_fma: int = 0
+    address_ops: int = 2
+    branches: int = 1
+    description: str = ""
+
+
+#: The PolyBench 4.2 kernels the paper's evaluation traverses (linear
+#: algebra BLAS-like kernels, solvers and stencils), described by the
+#: operation mix of their hot innermost loop.
+KERNEL_SPECS: Dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in (
+        KernelSpec("gemm", loads=2, stores=1, fp_mul=1, fp_add=1, fp_fma=1,
+                   description="C = alpha*A*B + beta*C"),
+        KernelSpec("gemver", loads=4, stores=2, fp_mul=2, fp_add=2,
+                   description="vector multiplication and matrix addition"),
+        KernelSpec("gesummv", loads=3, stores=1, fp_mul=2, fp_add=2,
+                   description="scalar, vector and matrix multiplication"),
+        KernelSpec("symm", loads=3, stores=1, fp_mul=2, fp_add=2,
+                   description="symmetric matrix multiplication"),
+        KernelSpec("syrk", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="symmetric rank-k update"),
+        KernelSpec("syr2k", loads=3, stores=1, fp_mul=2, fp_add=2,
+                   description="symmetric rank-2k update"),
+        KernelSpec("trmm", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="triangular matrix multiplication"),
+        KernelSpec("2mm", loads=2, stores=1, fp_mul=1, fp_add=1, fp_fma=1,
+                   description="two matrix multiplications"),
+        KernelSpec("3mm", loads=2, stores=1, fp_mul=1, fp_add=1, fp_fma=1,
+                   description="three matrix multiplications"),
+        KernelSpec("atax", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="matrix transpose and vector multiplication"),
+        KernelSpec("bicg", loads=3, stores=2, fp_mul=2, fp_add=2,
+                   description="BiCG sub-kernel"),
+        KernelSpec("doitgen", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="multi-resolution analysis kernel"),
+        KernelSpec("mvt", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="matrix-vector product and transpose"),
+        KernelSpec("cholesky", loads=2, stores=1, fp_mul=1, fp_add=1, branches=2,
+                   description="Cholesky decomposition"),
+        KernelSpec("durbin", loads=2, stores=1, fp_mul=1, fp_add=2,
+                   description="Toeplitz system solver"),
+        KernelSpec("lu", loads=2, stores=1, fp_mul=1, fp_add=1, branches=2,
+                   description="LU decomposition"),
+        KernelSpec("trisolv", loads=2, stores=1, fp_mul=1, fp_add=1,
+                   description="triangular solver"),
+        KernelSpec("correlation", loads=2, stores=1, fp_mul=2, fp_add=2,
+                   description="correlation computation"),
+        KernelSpec("covariance", loads=2, stores=1, fp_mul=1, fp_add=2,
+                   description="covariance computation"),
+        KernelSpec("floyd-warshall", loads=3, stores=1, fp_mul=0, fp_add=2, branches=2,
+                   description="shortest paths (additions and comparisons)"),
+        KernelSpec("jacobi-1d", loads=3, stores=1, fp_mul=1, fp_add=2,
+                   description="1-D Jacobi stencil"),
+        KernelSpec("jacobi-2d", loads=5, stores=1, fp_mul=1, fp_add=4,
+                   description="2-D Jacobi stencil"),
+        KernelSpec("fdtd-2d", loads=4, stores=2, fp_mul=2, fp_add=3,
+                   description="2-D finite-difference time-domain"),
+        KernelSpec("heat-3d", loads=7, stores=1, fp_mul=2, fp_add=6,
+                   description="3-D heat equation stencil"),
+        KernelSpec("seidel-2d", loads=9, stores=1, fp_mul=1, fp_add=8,
+                   description="2-D Gauss-Seidel stencil"),
+        KernelSpec("adi", loads=6, stores=2, fp_mul=4, fp_add=3,
+                   description="alternating-direction implicit solver"),
+    )
+}
+
+
+def _pick(
+    instructions: Sequence[Instruction],
+    kind: InstructionKind,
+    extension: Extension,
+    index: int,
+) -> Optional[Instruction]:
+    """Deterministically pick the ``index``-th instruction of a kind/extension."""
+    candidates = sorted(
+        (inst for inst in instructions
+         if inst.kind is kind and inst.extension is extension and inst.is_benchmarkable),
+        key=lambda inst: inst.name,
+    )
+    if not candidates:
+        return None
+    return candidates[index % len(candidates)]
+
+
+def lower_kernel(
+    spec: KernelSpec,
+    instructions: Sequence[Instruction],
+    vector_extension: Extension = Extension.SSE,
+) -> Microkernel:
+    """Lower a kernel description onto concrete instructions of an ISA.
+
+    Floating-point operations, loads and stores use the requested vector
+    extension when available (falling back to SSE, then scalar forms);
+    address arithmetic and loop control always use base-ISA instructions.
+    FMA operations fall back to an explicit multiply + add pair when the ISA
+    variant has no FMA instruction (as scalar SSE code would).
+    """
+    picks: List[Instruction] = []
+
+    def extend(kind: InstructionKind, count: int, extension: Extension) -> int:
+        """Append ``count`` instructions of ``kind``; return how many were placed."""
+        placed = 0
+        for index in range(count):
+            for candidate_extension in (extension, Extension.SSE, Extension.BASE):
+                instruction = _pick(instructions, kind, candidate_extension, index)
+                if instruction is not None:
+                    picks.append(instruction)
+                    placed += 1
+                    break
+        return placed
+
+    extend(InstructionKind.LOAD, spec.loads, vector_extension)
+    extend(InstructionKind.STORE, spec.stores, vector_extension)
+    extend(InstructionKind.FP_MUL, spec.fp_mul, vector_extension)
+    extend(InstructionKind.FP_ADD, spec.fp_add, vector_extension)
+    if spec.fp_fma:
+        placed = 0
+        if vector_extension is Extension.AVX:
+            placed = extend(InstructionKind.FP_FMA, spec.fp_fma, Extension.AVX)
+        if placed < spec.fp_fma:
+            missing = spec.fp_fma - placed
+            extend(InstructionKind.FP_MUL, missing, vector_extension)
+            extend(InstructionKind.FP_ADD, missing, vector_extension)
+    extend(InstructionKind.LEA, spec.address_ops // 2, Extension.BASE)
+    extend(InstructionKind.INT_ALU, spec.address_ops - spec.address_ops // 2, Extension.BASE)
+    extend(InstructionKind.BRANCH, spec.branches, Extension.BASE)
+
+    if not picks:
+        raise ValueError(
+            f"the ISA provides no instruction usable to lower kernel {spec.name!r}"
+        )
+    kernel = Microkernel.from_instructions(picks)
+    return _strip_forbidden_mixes(kernel, vector_extension)
+
+
+def _strip_forbidden_mixes(kernel: Microkernel, preferred: Extension) -> Microkernel:
+    """Ensure the lowered kernel does not mix SSE and AVX instructions.
+
+    If both appear (because of fallbacks), the minority extension is dropped
+    in favour of the preferred one — compiled loops never mix widths either.
+    """
+    counts = kernel.counts
+    has_sse = any(inst.extension is Extension.SSE for inst in counts)
+    has_avx = any(inst.extension is Extension.AVX for inst in counts)
+    if not (has_sse and has_avx):
+        return kernel
+    drop = Extension.SSE if preferred is Extension.AVX else Extension.AVX
+    remaining = {inst: c for inst, c in counts.items() if inst.extension is not drop}
+    return Microkernel(remaining) if remaining else kernel

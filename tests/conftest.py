@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deterministic: fixed seeds, no measurement noise, and a
+small ISA so that the end-to-end PALMED pipeline stays fast enough for unit
+testing.  The full-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Microkernel,
+    PortModelBackend,
+    build_skylake_like_machine,
+    build_small_isa,
+    build_toy_machine,
+    build_zen_like_machine,
+)
+from repro.machines.toy import TOY_INSTRUCTIONS
+
+
+@pytest.fixture(scope="session")
+def toy_machine():
+    """The 6-instruction, 3-port machine of Fig. 1."""
+    return build_toy_machine()
+
+
+@pytest.fixture(scope="session")
+def toy_backend(toy_machine):
+    return PortModelBackend(toy_machine)
+
+
+@pytest.fixture(scope="session")
+def toy_instructions():
+    """The Fig. 1 instructions keyed by mnemonic."""
+    return dict(TOY_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def small_isa():
+    """A deterministic ~48-instruction ISA for fast tests."""
+    return build_small_isa(48, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_skl_machine(small_isa):
+    return build_skylake_like_machine(isa=small_isa)
+
+
+@pytest.fixture(scope="session")
+def small_zen_machine(small_isa):
+    return build_zen_like_machine(isa=small_isa)
+
+
+@pytest.fixture(scope="session")
+def small_skl_backend(small_skl_machine):
+    return PortModelBackend(small_skl_machine)
+
+
+@pytest.fixture
+def addss_bsr_kernels(toy_instructions):
+    """The two kernels used throughout the paper's Section III/IV examples."""
+    addss = toy_instructions["ADDSS"]
+    bsr = toy_instructions["BSR"]
+    return (
+        Microkernel({addss: 2, bsr: 1}),
+        Microkernel({addss: 1, bsr: 2}),
+    )

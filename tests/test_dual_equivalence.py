@@ -1,0 +1,204 @@
+"""Tests of the ∇-dual construction and the equivalence theorem (Appendix A).
+
+The central theoretical claim of the paper is that the conjunctive dual of a
+disjunctive port mapping predicts exactly the same steady-state execution
+time, while replacing the scheduling LP by a closed formula.  These tests
+check the construction on the paper's example and verify the equivalence on
+randomly generated machines and kernels (property-based).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Extension, Instruction, InstructionKind
+from repro.machines import build_skylake_like_machine, build_toy_machine, build_zen_like_machine
+from repro.machines.toy import TOY_INSTRUCTIONS
+from repro.mapping import (
+    DisjunctivePortMapping,
+    Microkernel,
+    MicroOp,
+    build_dual,
+    nabla_closure,
+    prune_redundant_resources,
+)
+from repro.mapping.dual import resource_name
+
+
+class TestNablaClosure:
+    def test_disjoint_sets_not_merged(self):
+        closure = nabla_closure([frozenset({"p0"}), frozenset({"p1"})])
+        assert closure == {frozenset({"p0"}), frozenset({"p1"})}
+
+    def test_intersecting_sets_merged(self):
+        closure = nabla_closure([frozenset({"p0", "p1"}), frozenset({"p1", "p6"})])
+        assert frozenset({"p0", "p1", "p6"}) in closure
+
+    def test_paper_example_closure(self):
+        sets = [
+            frozenset({"p0"}),
+            frozenset({"p1"}),
+            frozenset({"p6"}),
+            frozenset({"p0", "p1"}),
+            frozenset({"p0", "p6"}),
+        ]
+        closure = nabla_closure(sets)
+        assert frozenset({"p0", "p1", "p6"}) in closure
+        # r16 is *not* created: {p1} and {p6} never intersect another set
+        # containing both.
+        assert frozenset({"p1", "p6"}) not in closure
+
+    def test_empty_input(self):
+        assert nabla_closure([]) == set()
+
+    def test_resource_name_is_canonical(self):
+        assert resource_name(frozenset({"p1", "p0"})) == "r(p0+p1)"
+
+
+class TestToyMachineDual:
+    def test_fig1b_resources(self):
+        machine = build_toy_machine()
+        dual = machine.true_conjunctive(include_front_end=False)
+        expected = {
+            "r(p0)", "r(p1)", "r(p6)", "r(p0+p1)", "r(p0+p6)", "r(p0+p1+p6)",
+        }
+        assert set(dual.resources) == expected
+
+    def test_fig1b_normalized_weights(self):
+        machine = build_toy_machine()
+        dual = machine.true_conjunctive(include_front_end=False).normalized()
+        addss = TOY_INSTRUCTIONS["ADDSS"]
+        bsr = TOY_INSTRUCTIONS["BSR"]
+        vcvtt = TOY_INSTRUCTIONS["VCVTT"]
+        assert dual.rho(addss, "r(p0+p1)") == pytest.approx(0.5)
+        assert dual.rho(addss, "r(p0+p1+p6)") == pytest.approx(1.0 / 3.0)
+        assert dual.rho(addss, "r(p0)") == 0.0
+        assert dual.rho(bsr, "r(p1)") == pytest.approx(1.0)
+        # VCVTT has two µOPs on p0/p1: one full use of the combined resource.
+        assert dual.rho(vcvtt, "r(p0+p1)") == pytest.approx(1.0)
+
+    def test_paper_throughputs_via_dual(self, addss_bsr_kernels):
+        machine = build_toy_machine()
+        dual = machine.true_conjunctive(include_front_end=False)
+        k1, k2 = addss_bsr_kernels
+        assert dual.ipc(k1) == pytest.approx(2.0)
+        assert dual.ipc(k2) == pytest.approx(1.5)
+
+
+class TestPruning:
+    def test_dominated_resource_removed(self):
+        inst = Instruction("X_OP", InstructionKind.INT_ALU, Extension.BASE, 64)
+        disjunctive = DisjunctivePortMapping(
+            ("p0", "p1"), {inst: (MicroOp.on("p0"),)}
+        )
+        # Without pruning both r(p0) and r(p0+p1) exist; the combined resource
+        # is half-loaded by every kernel and can never be the bottleneck.
+        unpruned = build_dual(disjunctive, prune=False)
+        assert "r(p0+p1)" in unpruned.resources or len(unpruned.resources) == 1
+        pruned = prune_redundant_resources(unpruned)
+        assert "r(p0)" in pruned.resources
+
+    def test_pruning_preserves_predictions(self):
+        machine = build_skylake_like_machine(n_instructions=40)
+        unpruned = build_dual(machine.port_mapping, prune=False)
+        pruned = build_dual(machine.port_mapping, prune=True)
+        instructions = machine.benchmarkable_instructions()[:10]
+        for index, instruction in enumerate(instructions):
+            kernel = Microkernel({instruction: 1 + index % 3})
+            assert pruned.cycles(kernel) == pytest.approx(unpruned.cycles(kernel))
+        assert len(pruned.resources) <= len(unpruned.resources)
+
+
+def _random_kernels(machine, seed: int, count: int):
+    import random
+
+    rng = random.Random(seed)
+    instructions = machine.benchmarkable_instructions()
+    kernels = []
+    for _ in range(count):
+        chosen = {
+            rng.choice(instructions): rng.randint(1, 4)
+            for _ in range(rng.randint(1, 5))
+        }
+        kernels.append(Microkernel(chosen))
+    return kernels
+
+
+class TestEquivalenceOnMachines:
+    """Theorem A.2: dual formula == disjunctive scheduling LP."""
+
+    @pytest.mark.parametrize("builder", [build_toy_machine])
+    def test_toy_machine_exhaustive_pairs(self, builder):
+        machine = builder()
+        instructions = machine.instructions
+        dual = machine.true_conjunctive(include_front_end=False)
+        for i, a in enumerate(instructions):
+            for b in instructions[i:]:
+                kernel = Microkernel({a: 2, b: 1} if a != b else {a: 3})
+                lp_cycles = machine.port_mapping.cycles(kernel)
+                assert dual.cycles(kernel) == pytest.approx(lp_cycles, rel=1e-6)
+
+    def test_skylake_random_kernels(self, small_skl_machine):
+        dual = small_skl_machine.true_conjunctive(include_front_end=False)
+        for kernel in _random_kernels(small_skl_machine, seed=7, count=25):
+            lp_cycles = small_skl_machine.port_mapping.cycles(kernel)
+            assert dual.cycles(kernel) == pytest.approx(lp_cycles, rel=1e-6)
+
+    def test_zen_random_kernels(self, small_zen_machine):
+        dual = small_zen_machine.true_conjunctive(include_front_end=False)
+        for kernel in _random_kernels(small_zen_machine, seed=11, count=25):
+            lp_cycles = small_zen_machine.port_mapping.cycles(kernel)
+            assert dual.cycles(kernel) == pytest.approx(lp_cycles, rel=1e-6)
+
+
+@st.composite
+def random_disjunctive_and_kernel(draw):
+    """A random small disjunctive mapping plus a random kernel over it."""
+    num_ports = draw(st.integers(min_value=2, max_value=4))
+    ports = [f"p{i}" for i in range(num_ports)]
+    num_instructions = draw(st.integers(min_value=1, max_value=4))
+    mapping = {}
+    for index in range(num_instructions):
+        inst = Instruction(
+            f"RND{index}", InstructionKind.INT_ALU, Extension.BASE, 64
+        )
+        num_uops = draw(st.integers(min_value=1, max_value=2))
+        uops = []
+        for _ in range(num_uops):
+            subset = draw(
+                st.sets(st.sampled_from(ports), min_size=1, max_size=num_ports)
+            )
+            occupancy = draw(st.sampled_from([1.0, 1.0, 1.0, 2.0, 4.0]))
+            uops.append(MicroOp(frozenset(subset), occupancy=occupancy))
+        mapping[inst] = tuple(uops)
+    disjunctive = DisjunctivePortMapping(ports, mapping)
+    counts = {
+        inst: draw(st.integers(min_value=1, max_value=4))
+        for inst in mapping
+        if draw(st.booleans()) or True
+    }
+    return disjunctive, Microkernel(counts)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(random_disjunctive_and_kernel())
+    def test_dual_equals_lp_on_random_machines(self, data):
+        """Property: for arbitrary port mappings the dual formula matches the LP."""
+        disjunctive, kernel = data
+        dual = build_dual(disjunctive)
+        assert dual.cycles(kernel) == pytest.approx(
+            disjunctive.cycles(kernel), rel=1e-6, abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_disjunctive_and_kernel(), st.floats(min_value=0.5, max_value=4.0))
+    def test_throughput_scale_invariance(self, data, factor):
+        """Scaling every multiplicity scales cycles linearly (IPC unchanged)."""
+        disjunctive, kernel = data
+        dual = build_dual(disjunctive)
+        base = dual.cycles(kernel)
+        scaled = dual.cycles(kernel.scaled(factor))
+        assert scaled == pytest.approx(base * factor, rel=1e-9)

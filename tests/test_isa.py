@@ -1,0 +1,120 @@
+"""Tests for the synthetic ISA substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    Extension,
+    Instruction,
+    InstructionKind,
+    IsaGenerator,
+    benchmarkable,
+    build_default_isa,
+    build_small_isa,
+)
+
+
+class TestInstruction:
+    def test_equality_and_hash_by_name(self):
+        a = Instruction("ADD_R64", InstructionKind.INT_ALU, Extension.BASE, 64)
+        b = Instruction("ADD_R64", InstructionKind.INT_MUL, Extension.BASE, 64, variant=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering_by_name(self):
+        a = Instruction("AAA", InstructionKind.INT_ALU, Extension.BASE, 64)
+        b = Instruction("BBB", InstructionKind.INT_ALU, Extension.BASE, 64)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_str_is_name(self):
+        inst = Instruction("XOR_R32", InstructionKind.INT_ALU, Extension.BASE, 32)
+        assert str(inst) == "XOR_R32"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("", InstructionKind.INT_ALU, Extension.BASE, 64)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("ADD", InstructionKind.INT_ALU, Extension.BASE, 48)
+
+    def test_jump_not_benchmarkable(self):
+        jump = Instruction("JMP", InstructionKind.JUMP, Extension.BASE, 64)
+        add = Instruction("ADD", InstructionKind.INT_ALU, Extension.BASE, 64)
+        assert not jump.is_benchmarkable
+        assert add.is_benchmarkable
+
+    def test_kind_predicates(self):
+        assert InstructionKind.LOAD.is_memory
+        assert InstructionKind.STORE.is_memory
+        assert not InstructionKind.INT_ALU.is_memory
+        assert InstructionKind.FP_FMA.is_floating_point
+        assert InstructionKind.SHUFFLE.is_simd
+        assert InstructionKind.INT_DIV.is_division
+        assert InstructionKind.FP_DIV.is_division
+        assert InstructionKind.BRANCH.is_control_flow
+        assert not InstructionKind.LEA.is_control_flow
+
+    def test_extension_is_vector(self):
+        assert Extension.SSE.is_vector
+        assert Extension.AVX.is_vector
+        assert not Extension.BASE.is_vector
+
+
+class TestGenerator:
+    def test_exact_count(self):
+        for count in (25, 48, 100, 280):
+            isa = IsaGenerator(seed=0).build(count)
+            assert len(isa) == count
+
+    def test_unique_names(self):
+        isa = build_default_isa(280)
+        names = [inst.name for inst in isa]
+        assert len(names) == len(set(names))
+
+    def test_deterministic_for_same_seed(self):
+        first = build_default_isa(120, seed=3)
+        second = build_default_isa(120, seed=3)
+        assert first == second
+
+    def test_sorted_by_name(self):
+        isa = build_small_isa(48)
+        names = [inst.name for inst in isa]
+        assert names == sorted(names)
+
+    def test_covers_all_kinds_when_large_enough(self):
+        isa = build_default_isa(280)
+        kinds = {inst.kind for inst in isa}
+        assert kinds == set(InstructionKind)
+
+    def test_tiny_isa_prefers_frequent_kinds(self):
+        isa = IsaGenerator().build(5)
+        assert len(isa) == 5
+        kinds = {inst.kind for inst in isa}
+        assert InstructionKind.INT_ALU in kinds
+
+    def test_widths_match_extensions(self):
+        isa = build_default_isa(280)
+        for inst in isa:
+            if inst.extension is Extension.SSE:
+                assert inst.width == 128
+            elif inst.extension is Extension.AVX:
+                assert inst.width == 256
+            else:
+                assert inst.width in (32, 64)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            IsaGenerator().build(0)
+
+    def test_benchmarkable_filter_removes_jumps(self):
+        isa = build_default_isa(280)
+        filtered = benchmarkable(isa)
+        assert all(inst.is_benchmarkable for inst in filtered)
+        assert len(filtered) < len(isa)
+
+    def test_small_isa_subset_of_families(self):
+        small = build_small_isa(48)
+        assert len({inst.kind for inst in small}) >= 15

@@ -1,0 +1,169 @@
+"""Tests for the ground-truth machine models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Microkernel
+from repro.isa import Extension, InstructionKind, build_small_isa
+from repro.machines import (
+    available_machines,
+    build_machine,
+    build_skylake_like_machine,
+    build_toy_machine,
+    build_zen_like_machine,
+)
+from repro.machines.machine import FRONT_END_RESOURCE, Machine
+from repro.machines.toy import TOY_INSTRUCTIONS, toy_instruction, toy_instruction_pair
+
+
+class TestToyMachine:
+    def test_instruction_set(self, toy_machine):
+        assert len(toy_machine.instructions) == 6
+        assert toy_machine.ports == ("p0", "p1", "p6")
+
+    def test_single_instruction_ipcs_match_fig1(self, toy_machine):
+        expected = {
+            "DIVPS": 1.0,   # p0 only
+            "VCVTT": 1.0,   # two µOPs on p0/p1
+            "ADDSS": 2.0,   # p0 or p1
+            "BSR": 1.0,     # p1 only
+            "JNLE": 2.0,    # p0 or p6
+            "JMP": 1.0,     # p6 only
+        }
+        for name, ipc in expected.items():
+            kernel = Microkernel.single(TOY_INSTRUCTIONS[name], 4)
+            assert toy_machine.true_ipc(kernel) == pytest.approx(ipc), name
+
+    def test_paper_multiset_throughputs(self, toy_machine, addss_bsr_kernels):
+        k1, k2 = addss_bsr_kernels
+        assert toy_machine.true_ipc(k1) == pytest.approx(2.0)
+        assert toy_machine.true_ipc(k2) == pytest.approx(1.5)
+
+    def test_toy_lookup_helpers(self):
+        assert toy_instruction("ADDSS").name == "ADDSS"
+        addss, bsr = toy_instruction_pair()
+        assert addss.name == "ADDSS" and bsr.name == "BSR"
+
+    def test_summary_mentions_ports(self, toy_machine):
+        summary = toy_machine.summary()
+        assert "p0" in summary and "front-end" in summary
+
+
+class TestSkylakeLike:
+    def test_structure(self, small_skl_machine):
+        assert small_skl_machine.front_end_width == 4.0
+        assert len(small_skl_machine.ports) == 8
+        assert len(small_skl_machine.instructions) == 48
+
+    def test_alu_instructions_reach_front_end_limit(self, small_skl_machine):
+        alu = [
+            inst for inst in small_skl_machine.instructions
+            if inst.kind is InstructionKind.INT_ALU and inst.variant == 0
+        ]
+        kernel = Microkernel({inst: 2 for inst in alu[:4]})
+        assert small_skl_machine.true_ipc(kernel) == pytest.approx(4.0)
+
+    def test_divider_is_not_pipelined(self, small_skl_machine):
+        divs = [
+            inst for inst in small_skl_machine.instructions
+            if inst.kind is InstructionKind.FP_DIV and inst.width == 128
+        ]
+        assert divs, "the small ISA should contain an SSE divide"
+        ipc = small_skl_machine.true_ipc(Microkernel.single(divs[0], 2))
+        assert ipc == pytest.approx(0.25)
+
+    def test_store_has_two_uops(self, small_skl_machine):
+        stores = [
+            inst for inst in small_skl_machine.instructions
+            if inst.kind is InstructionKind.STORE
+        ]
+        assert all(small_skl_machine.port_mapping.num_uops(inst) == 2 for inst in stores)
+
+    def test_front_end_resource_in_dual(self, small_skl_machine):
+        dual = small_skl_machine.true_conjunctive(include_front_end=True)
+        assert FRONT_END_RESOURCE in dual.resources
+        port_only = small_skl_machine.true_conjunctive(include_front_end=False)
+        assert FRONT_END_RESOURCE not in port_only.resources
+
+    def test_dual_is_cached(self, small_skl_machine):
+        first = small_skl_machine.true_conjunctive()
+        second = small_skl_machine.true_conjunctive()
+        assert first is second
+
+    def test_restricted_machine(self, small_skl_machine):
+        subset = small_skl_machine.benchmarkable_instructions()[:5]
+        restricted = small_skl_machine.restricted(subset)
+        assert len(restricted.instructions) == 5
+        assert restricted.front_end_width == small_skl_machine.front_end_width
+
+
+class TestZenLike:
+    def test_structure(self, small_zen_machine):
+        assert small_zen_machine.front_end_width == 5.0
+        assert "f0" in small_zen_machine.ports and "i0" in small_zen_machine.ports
+
+    def test_split_pipelines(self, small_zen_machine):
+        """Integer and FP instructions never share execution ports on Zen."""
+        int_ports = {"i0", "i1", "i2", "i3", "ag0", "ag1"}
+        fp_ports = {"f0", "f1", "f2", "f3"}
+        for instruction in small_zen_machine.instructions:
+            for uop in small_zen_machine.port_mapping.uops(instruction):
+                assert not (uop.ports & int_ports and uop.ports & fp_ports)
+
+    def test_int_and_fp_run_in_parallel(self, small_zen_machine):
+        alu = next(
+            inst for inst in small_zen_machine.instructions
+            if inst.kind is InstructionKind.INT_ALU and inst.variant == 0
+        )
+        fp = next(
+            inst for inst in small_zen_machine.instructions
+            if inst.kind is InstructionKind.FP_MUL and inst.width == 128
+        )
+        int_cycles = small_zen_machine.true_cycles(Microkernel.single(alu, 2))
+        fp_cycles = small_zen_machine.true_cycles(Microkernel.single(fp, 2))
+        combined_kernel = Microkernel({alu: 2, fp: 2})
+        combined_cycles = small_zen_machine.true_cycles(combined_kernel)
+        front_end_cycles = combined_kernel.size / small_zen_machine.front_end_width
+        # The clusters are independent: the combined kernel takes exactly as
+        # long as its slowest half (or the front-end), never longer — there
+        # are no cross-cluster port conflicts.
+        assert combined_cycles == pytest.approx(
+            max(int_cycles, fp_cycles, front_end_cycles), rel=1e-6
+        )
+
+    def test_avx_double_pumping(self, small_zen_machine, small_skl_machine):
+        avx = [
+            inst for inst in small_zen_machine.instructions
+            if inst.extension is Extension.AVX and inst.kind is InstructionKind.FP_MUL
+        ]
+        if not avx:
+            pytest.skip("small ISA contains no AVX FP multiply")
+        zen_ipc = small_zen_machine.true_ipc(Microkernel.single(avx[0], 4))
+        skl_ipc = small_skl_machine.true_ipc(Microkernel.single(avx[0], 4))
+        assert zen_ipc < skl_ipc
+
+
+class TestMachineValidation:
+    def test_front_end_width_must_be_positive(self, toy_machine):
+        with pytest.raises(ValueError):
+            Machine(
+                name="bad",
+                port_mapping=toy_machine.port_mapping,
+                front_end_width=0.0,
+            )
+
+    def test_registry(self):
+        assert "toy" in available_machines()
+        assert "skl" in available_machines()
+        machine = build_machine("toy")
+        assert machine.name == "toy-skl-p016"
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_machine("pentium4")
+
+    def test_registry_with_custom_isa(self):
+        isa = build_small_isa(30)
+        machine = build_machine("zen1", isa=isa)
+        assert len(machine.instructions) == 30

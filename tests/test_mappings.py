@@ -1,0 +1,202 @@
+"""Tests for the disjunctive and conjunctive mapping models (Sec. IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Extension, Instruction, InstructionKind
+from repro.mapping import (
+    ConjunctiveResourceMapping,
+    DisjunctivePortMapping,
+    Microkernel,
+    MicroOp,
+    UnknownInstructionError,
+)
+
+
+def make_inst(name: str) -> Instruction:
+    return Instruction(name, InstructionKind.FP_ADD, Extension.SSE, 128)
+
+
+ADDSS = make_inst("T_ADDSS")
+BSR = make_inst("T_BSR")
+DIVPS = make_inst("T_DIVPS")
+STORE = make_inst("T_STORE")
+
+
+@pytest.fixture
+def simple_disjunctive() -> DisjunctivePortMapping:
+    return DisjunctivePortMapping(
+        ports=("p0", "p1", "p6"),
+        mapping={
+            ADDSS: (MicroOp.on("p0", "p1"),),
+            BSR: (MicroOp.on("p1"),),
+            DIVPS: (MicroOp.on("p0", occupancy=4.0),),
+            STORE: (MicroOp.on("p0", "p6"), MicroOp.on("p6")),
+        },
+    )
+
+
+class TestMicroOp:
+    def test_requires_ports(self):
+        with pytest.raises(ValueError):
+            MicroOp(frozenset())
+
+    def test_requires_positive_occupancy(self):
+        with pytest.raises(ValueError):
+            MicroOp.on("p0", occupancy=0.0)
+
+    def test_on_constructor(self):
+        uop = MicroOp.on("p1", "p0")
+        assert uop.ports == frozenset({"p0", "p1"})
+        assert uop.occupancy == 1.0
+
+
+class TestDisjunctiveMapping:
+    def test_validation_of_unknown_ports(self):
+        with pytest.raises(ValueError):
+            DisjunctivePortMapping(("p0",), {ADDSS: (MicroOp.on("p9"),)})
+
+    def test_validation_of_empty_uop_list(self):
+        with pytest.raises(ValueError):
+            DisjunctivePortMapping(("p0",), {ADDSS: ()})
+
+    def test_duplicate_port_names_rejected(self):
+        with pytest.raises(ValueError):
+            DisjunctivePortMapping(("p0", "p0"), {ADDSS: (MicroOp.on("p0"),)})
+
+    def test_single_instruction_throughput(self, simple_disjunctive):
+        # ADDSS can dual-issue on p0/p1.
+        assert simple_disjunctive.ipc(Microkernel.single(ADDSS, 2)) == pytest.approx(2.0)
+        # BSR is limited to p1.
+        assert simple_disjunctive.ipc(Microkernel.single(BSR, 2)) == pytest.approx(1.0)
+
+    def test_non_pipelined_occupancy(self, simple_disjunctive):
+        # The divider occupies p0 for 4 cycles per instruction.
+        assert simple_disjunctive.ipc(Microkernel.single(DIVPS)) == pytest.approx(0.25)
+
+    def test_paper_example_throughputs(self, simple_disjunctive):
+        assert simple_disjunctive.ipc(Microkernel({ADDSS: 2, BSR: 1})) == pytest.approx(2.0)
+        assert simple_disjunctive.ipc(Microkernel({ADDSS: 1, BSR: 2})) == pytest.approx(1.5)
+
+    def test_multi_uop_instruction(self, simple_disjunctive):
+        # STORE = one µOP on p0/p6 plus one µOP on p6: the scheduler routes
+        # the flexible µOPs to p0, so two stores take 2 cycles (p6 holds the
+        # two fixed µOPs), not 4.
+        assert simple_disjunctive.cycles(Microkernel.single(STORE, 2)) == pytest.approx(2.0)
+        assert simple_disjunctive.ipc(Microkernel.single(STORE, 2)) == pytest.approx(1.0)
+
+    def test_optimal_assignment_is_consistent(self, simple_disjunctive):
+        kernel = Microkernel({ADDSS: 2, BSR: 1})
+        assignment = simple_disjunctive.optimal_assignment(kernel)
+        total_addss = sum(
+            value for (inst, _, _), value in assignment.items() if inst == ADDSS
+        )
+        assert total_addss == pytest.approx(2.0)
+
+    def test_unknown_instruction_raises(self, simple_disjunctive):
+        other = make_inst("T_OTHER")
+        with pytest.raises(KeyError):
+            simple_disjunctive.cycles(Microkernel.single(other))
+
+    def test_port_sets_and_restriction(self, simple_disjunctive):
+        assert frozenset({"p1"}) in simple_disjunctive.port_sets()
+        restricted = simple_disjunctive.restricted([ADDSS, BSR])
+        assert set(restricted.instructions) == {ADDSS, BSR}
+
+
+class TestConjunctiveMapping:
+    @pytest.fixture
+    def fig1b_mapping(self) -> ConjunctiveResourceMapping:
+        """The (non-normalized) mapping of Fig. 1b restricted to ADDSS/BSR."""
+        return ConjunctiveResourceMapping(
+            resources={"r1": 1.0, "r01": 2.0, "r016": 3.0},
+            usage={
+                ADDSS: {"r01": 1.0, "r016": 1.0},
+                BSR: {"r1": 1.0, "r01": 1.0, "r016": 1.0},
+            },
+        )
+
+    def test_paper_worked_example(self, fig1b_mapping):
+        # Section IV: t(ADDSS^2 BSR) = 1.5 cycles, throughput 2 IPC.
+        kernel = Microkernel({ADDSS: 2, BSR: 1})
+        assert fig1b_mapping.cycles(kernel) == pytest.approx(1.5)
+        assert fig1b_mapping.ipc(kernel) == pytest.approx(2.0)
+        # t(ADDSS BSR^2) = 2 cycles (bottleneck r1), throughput 1.5 IPC.
+        kernel2 = Microkernel({ADDSS: 1, BSR: 2})
+        assert fig1b_mapping.cycles(kernel2) == pytest.approx(2.0)
+        assert fig1b_mapping.ipc(kernel2) == pytest.approx(1.5)
+        assert fig1b_mapping.bottlenecks(kernel2) == ("r1",)
+
+    def test_normalization_preserves_throughput(self, fig1b_mapping):
+        normalized = fig1b_mapping.normalized()
+        kernel = Microkernel({ADDSS: 2, BSR: 1})
+        assert normalized.cycles(kernel) == pytest.approx(fig1b_mapping.cycles(kernel))
+        assert normalized.throughput_of("r01") == 1.0
+        assert normalized.rho(ADDSS, "r01") == pytest.approx(0.5)
+        assert normalized.rho(ADDSS, "r016") == pytest.approx(1.0 / 3.0)
+
+    def test_rho_of_unused_resource_is_zero(self, fig1b_mapping):
+        assert fig1b_mapping.rho(ADDSS, "r1") == 0.0
+
+    def test_unknown_instruction_raises(self, fig1b_mapping):
+        with pytest.raises(UnknownInstructionError):
+            fig1b_mapping.cycles(Microkernel.single(DIVPS))
+
+    def test_unknown_resource_in_usage_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveResourceMapping({"r0": 1.0}, {ADDSS: {"r9": 1.0}})
+
+    def test_non_positive_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveResourceMapping({"r0": 0.0}, {})
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveResourceMapping({"r0": 1.0}, {ADDSS: {"r0": -1.0}})
+
+    def test_with_resource_adds_front_end(self, fig1b_mapping):
+        # A narrow (1.5-wide) front-end becomes the bottleneck for ADDSS-only
+        # kernels, which are otherwise limited to 2 IPC by the r01 pressure.
+        extended = fig1b_mapping.with_resource(
+            "FrontEnd", 1.5, {ADDSS: 1.0, BSR: 1.0}
+        )
+        assert "FrontEnd" in extended.resources
+        kernel = Microkernel({ADDSS: 8})
+        assert extended.ipc(kernel) == pytest.approx(1.5)
+        assert fig1b_mapping.ipc(kernel) == pytest.approx(2.0)
+        assert extended.bottlenecks(kernel) == ("FrontEnd",)
+
+    def test_with_resource_duplicate_rejected(self, fig1b_mapping):
+        with pytest.raises(ValueError):
+            fig1b_mapping.with_resource("r1", 1.0, {})
+
+    def test_with_instruction(self, fig1b_mapping):
+        extended = fig1b_mapping.with_instruction(DIVPS, {"r01": 2.0})
+        assert extended.supports(DIVPS)
+        assert extended.rho(DIVPS, "r01") == pytest.approx(1.0)
+
+    def test_restricted(self, fig1b_mapping):
+        restricted = fig1b_mapping.restricted([ADDSS])
+        assert restricted.supports(ADDSS)
+        assert not restricted.supports(BSR)
+        with pytest.raises(UnknownInstructionError):
+            fig1b_mapping.restricted([DIVPS])
+
+    def test_serialization_round_trip(self, fig1b_mapping):
+        payload = fig1b_mapping.to_json()
+        recovered = ConjunctiveResourceMapping.from_json(payload)
+        kernel = Microkernel({ADDSS: 2, BSR: 1})
+        assert recovered.ipc(kernel) == pytest.approx(fig1b_mapping.ipc(kernel))
+        assert set(recovered.resources) == set(fig1b_mapping.resources)
+
+    def test_table_rendering(self, fig1b_mapping):
+        table = fig1b_mapping.table()
+        assert "T_ADDSS" in table
+        assert "r01" in table
+
+    def test_load_per_resource(self, fig1b_mapping):
+        loads = fig1b_mapping.load_per_resource(Microkernel({ADDSS: 2, BSR: 1}))
+        assert loads["r01"] == pytest.approx(1.5)
+        assert loads["r1"] == pytest.approx(1.0)
+        assert loads["r016"] == pytest.approx(1.0)

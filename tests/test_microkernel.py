@@ -1,0 +1,168 @@
+"""Tests for the Microkernel multiset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Extension, Instruction, InstructionKind
+from repro.mapping import Microkernel
+
+
+def make_inst(name: str) -> Instruction:
+    return Instruction(name, InstructionKind.INT_ALU, Extension.BASE, 64)
+
+
+A = make_inst("A_OP")
+B = make_inst("B_OP")
+C = make_inst("C_OP")
+
+
+class TestConstruction:
+    def test_single(self):
+        kernel = Microkernel.single(A)
+        assert kernel.size == 1.0
+        assert kernel.multiplicity(A) == 1.0
+
+    def test_single_with_count(self):
+        kernel = Microkernel.single(A, 2.5)
+        assert kernel.size == 2.5
+
+    def test_from_instructions_counts_repetitions(self):
+        kernel = Microkernel.from_instructions([A, B, A, A])
+        assert kernel.multiplicity(A) == 3.0
+        assert kernel.multiplicity(B) == 1.0
+
+    def test_pair_constructor(self):
+        kernel = Microkernel.pair(A, 2, B, 1)
+        assert kernel.size == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Microkernel({})
+
+    def test_zero_counts_dropped(self):
+        kernel = Microkernel({A: 1.0, B: 0.0})
+        assert B not in kernel
+        assert A in kernel
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Microkernel({A: 0.0})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Microkernel({A: -1.0})
+
+    def test_non_instruction_key_rejected(self):
+        with pytest.raises(TypeError):
+            Microkernel({"ADD": 1.0})  # type: ignore[dict-item]
+
+
+class TestAccessors:
+    def test_instructions_sorted(self):
+        kernel = Microkernel({C: 1, A: 1, B: 1})
+        assert [inst.name for inst in kernel.instructions] == ["A_OP", "B_OP", "C_OP"]
+
+    def test_size_and_distinct(self):
+        kernel = Microkernel({A: 2, B: 3})
+        assert kernel.size == 5.0
+        assert kernel.num_distinct == 2
+        assert len(kernel) == 2
+
+    def test_multiplicity_of_absent_instruction_is_zero(self):
+        kernel = Microkernel({A: 2})
+        assert kernel.multiplicity(B) == 0.0
+
+    def test_items_sorted(self):
+        kernel = Microkernel({B: 2, A: 1})
+        assert [(inst.name, count) for inst, count in kernel.items()] == [
+            ("A_OP", 1.0),
+            ("B_OP", 2.0),
+        ]
+
+    def test_counts_returns_copy(self):
+        kernel = Microkernel({A: 1})
+        counts = kernel.counts
+        counts[A] = 99
+        assert kernel.multiplicity(A) == 1.0
+
+
+class TestAlgebra:
+    def test_scaled(self):
+        kernel = Microkernel({A: 2, B: 1}).scaled(3)
+        assert kernel.multiplicity(A) == 6.0
+        assert kernel.multiplicity(B) == 3.0
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Microkernel({A: 1}).scaled(0)
+
+    def test_combined_adds_counts(self):
+        kernel = Microkernel({A: 1, B: 1}).combined(Microkernel({B: 2, C: 1}))
+        assert kernel.multiplicity(B) == 3.0
+        assert kernel.multiplicity(C) == 1.0
+
+    def test_add_operator(self):
+        kernel = Microkernel({A: 1}) + Microkernel({A: 1})
+        assert kernel.multiplicity(A) == 2.0
+
+    def test_rounded(self):
+        kernel = Microkernel({A: 1.0000004}).rounded()
+        assert kernel.multiplicity(A) == 1.0
+
+
+class TestEqualityAndNotation:
+    def test_equality_and_hash(self):
+        assert Microkernel({A: 2, B: 1}) == Microkernel({B: 1, A: 2})
+        assert hash(Microkernel({A: 2, B: 1})) == hash(Microkernel({B: 1, A: 2}))
+
+    def test_inequality(self):
+        assert Microkernel({A: 2}) != Microkernel({A: 3})
+
+    def test_usable_as_dict_key(self):
+        table = {Microkernel({A: 1}): "x"}
+        assert table[Microkernel({A: 1})] == "x"
+
+    def test_notation(self):
+        assert Microkernel({A: 2, B: 1}).notation() == "A_OP^2 B_OP"
+        assert "A_OP^0.5" in Microkernel({A: 0.5}).notation()
+
+    def test_repr_contains_notation(self):
+        assert "A_OP" in repr(Microkernel({A: 1}))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.sampled_from([A, B, C]),
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=1,
+            max_size=3,
+        ),
+        factor=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_scaling_scales_size_linearly(self, counts, factor):
+        kernel = Microkernel(counts)
+        scaled = kernel.scaled(factor)
+        assert scaled.size == pytest.approx(kernel.size * factor)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.dictionaries(
+            st.sampled_from([A, B, C]), st.floats(min_value=0.1, max_value=5.0),
+            min_size=1, max_size=3,
+        ),
+        right=st.dictionaries(
+            st.sampled_from([A, B, C]), st.floats(min_value=0.1, max_value=5.0),
+            min_size=1, max_size=3,
+        ),
+    )
+    def test_combination_is_commutative_and_additive(self, left, right):
+        k_left = Microkernel(left)
+        k_right = Microkernel(right)
+        combined = k_left + k_right
+        assert combined == k_right + k_left
+        assert combined.size == pytest.approx(k_left.size + k_right.size)

@@ -1,0 +1,187 @@
+"""Tests for the predictors (Palmed wrapper and the baselines of Sec. VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Microkernel, PortModelBackend
+from repro.isa import InstructionKind
+from repro.machines import build_toy_machine
+from repro.machines.toy import TOY_INSTRUCTIONS
+from repro.mapping import ConjunctiveResourceMapping
+from repro.predictors import (
+    IacaLikePredictor,
+    LlvmMcaPredictor,
+    PMEvoConfig,
+    PalmedPredictor,
+    Prediction,
+    Predictor,
+    UopsInfoPredictor,
+    train_pmevo,
+)
+
+
+class TestPredictionDataclass:
+    def test_full_support(self):
+        assert Prediction(ipc=2.0, supported_fraction=1.0).is_full_support
+        assert not Prediction(ipc=2.0, supported_fraction=0.5).is_full_support
+        assert not Prediction(ipc=None, supported_fraction=0.0).is_full_support
+
+
+class TestPalmedPredictor:
+    @pytest.fixture(scope="class")
+    def mapping(self):
+        machine = build_toy_machine()
+        return machine.true_conjunctive(include_front_end=True)
+
+    def test_wraps_bare_mapping(self, mapping, addss_bsr_kernels):
+        predictor = PalmedPredictor(mapping, name="Palmed")
+        assert isinstance(predictor, Predictor)
+        k1, k2 = addss_bsr_kernels
+        assert predictor.predict(k1).ipc == pytest.approx(2.0)
+        assert predictor.predict(k2).ipc == pytest.approx(1.5)
+        assert predictor.predict_ipc(k1) == pytest.approx(2.0)
+
+    def test_partial_support(self, mapping, addss_bsr_kernels):
+        restricted = mapping.restricted([TOY_INSTRUCTIONS["ADDSS"]])
+        predictor = PalmedPredictor(restricted)
+        k1, _ = addss_bsr_kernels
+        prediction = predictor.predict(k1)
+        assert prediction.supported_fraction == pytest.approx(2.0 / 3.0)
+        assert prediction.ipc is not None
+
+    def test_no_support(self, mapping):
+        restricted = mapping.restricted([TOY_INSTRUCTIONS["ADDSS"]])
+        predictor = PalmedPredictor(restricted)
+        kernel = Microkernel.single(TOY_INSTRUCTIONS["BSR"])
+        prediction = predictor.predict(kernel)
+        assert prediction.ipc is None
+        assert prediction.supported_fraction == 0.0
+
+
+class TestUopsInfoPredictor:
+    def test_overestimates_front_end_bound_kernels(self, small_skl_machine):
+        """The paper's observation: port-only tools over-estimate high-IPC kernels."""
+        predictor = UopsInfoPredictor(small_skl_machine)
+        backend = PortModelBackend(small_skl_machine)
+        alu = [
+            inst for inst in small_skl_machine.instructions
+            if inst.kind is InstructionKind.INT_ALU and inst.variant == 0
+        ][:4]
+        loads = [
+            inst for inst in small_skl_machine.instructions
+            if inst.kind is InstructionKind.LOAD
+        ][:2]
+        kernel = Microkernel({**{i: 2 for i in alu}, **{i: 1 for i in loads}})
+        native = backend.ipc(kernel)
+        predicted = predictor.predict(kernel).ipc
+        assert predicted > native
+
+    def test_exact_on_port_bound_kernels(self, toy_machine, addss_bsr_kernels):
+        predictor = UopsInfoPredictor(toy_machine)
+        k1, k2 = addss_bsr_kernels
+        assert predictor.predict(k1).ipc == pytest.approx(2.0)
+        assert predictor.predict(k2).ipc == pytest.approx(1.5)
+
+    def test_restricted_support(self, toy_machine):
+        predictor = UopsInfoPredictor(
+            toy_machine, supported_instructions=[TOY_INSTRUCTIONS["ADDSS"]]
+        )
+        assert predictor.supports(TOY_INSTRUCTIONS["ADDSS"])
+        assert not predictor.supports(TOY_INSTRUCTIONS["BSR"])
+
+
+class TestExpertPredictors:
+    def test_iaca_rejects_non_intel_machines(self, small_zen_machine):
+        with pytest.raises(ValueError):
+            IacaLikePredictor(small_zen_machine)
+
+    def test_iaca_supports_skl(self, small_skl_machine):
+        predictor = IacaLikePredictor(small_skl_machine)
+        assert predictor.name == "IACA"
+        instruction = small_skl_machine.benchmarkable_instructions()[0]
+        assert predictor.predict(Microkernel.single(instruction, 2)).ipc is not None
+
+    def test_llvm_mca_supports_both(self, small_skl_machine, small_zen_machine):
+        for machine in (small_skl_machine, small_zen_machine):
+            predictor = LlvmMcaPredictor(machine)
+            instruction = machine.benchmarkable_instructions()[0]
+            assert predictor.predict(Microkernel.single(instruction, 2)).ipc is not None
+
+    def test_llvm_mca_has_coverage_gaps(self, small_skl_machine):
+        predictor = LlvmMcaPredictor(small_skl_machine, unsupported_rate=0.2)
+        supported = [
+            inst for inst in small_skl_machine.benchmarkable_instructions()
+            if predictor.supports(inst)
+        ]
+        assert 0 < len(supported) < len(small_skl_machine.benchmarkable_instructions())
+
+    def test_expert_with_zero_error_matches_native(self, small_skl_machine):
+        predictor = LlvmMcaPredictor(
+            small_skl_machine, table_error_rate=0.0, unsupported_rate=0.0
+        )
+        backend = PortModelBackend(small_skl_machine)
+        instruction = small_skl_machine.benchmarkable_instructions()[3]
+        kernel = Microkernel.single(instruction, 3)
+        assert predictor.predict(kernel).ipc == pytest.approx(backend.ipc(kernel))
+
+    def test_table_errors_shift_predictions(self, small_skl_machine):
+        exact = LlvmMcaPredictor(small_skl_machine, table_error_rate=0.0, unsupported_rate=0.0)
+        noisy = LlvmMcaPredictor(small_skl_machine, table_error_rate=1.0, unsupported_rate=0.0)
+        backend = PortModelBackend(small_skl_machine)
+        differences = 0
+        for instruction in small_skl_machine.benchmarkable_instructions()[:20]:
+            kernel = Microkernel.single(instruction, 4)
+            if abs(noisy.predict(kernel).ipc - exact.predict(kernel).ipc) > 1e-9:
+                differences += 1
+        assert differences > 0
+        del backend
+
+
+class TestPMEvo:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PMEvoConfig(num_ports=0)
+        with pytest.raises(ValueError):
+            PMEvoConfig(coverage_fraction=0.0)
+        with pytest.raises(ValueError):
+            PMEvoConfig(population_size=4, elite=3)
+
+    def test_training_on_toy_machine(self, toy_machine, addss_bsr_kernels):
+        backend = PortModelBackend(toy_machine)
+        config = PMEvoConfig(
+            num_ports=4, population_size=30, generations=30, coverage_fraction=1.0, seed=1
+        )
+        predictor = train_pmevo(backend, toy_machine.benchmarkable_instructions(), config)
+        assert predictor.name == "PMEvo"
+        k1, _ = addss_bsr_kernels
+        prediction = predictor.predict(k1)
+        assert prediction.ipc is not None
+        # The evolved mapping should be in the right ballpark on trained pairs.
+        assert prediction.ipc == pytest.approx(2.0, rel=0.5)
+
+    def test_coverage_gap(self, toy_machine):
+        backend = PortModelBackend(toy_machine)
+        config = PMEvoConfig(
+            num_ports=3, population_size=20, generations=10, coverage_fraction=0.5, seed=0
+        )
+        predictor = train_pmevo(backend, toy_machine.benchmarkable_instructions(), config)
+        supported = [
+            inst for inst in toy_machine.benchmarkable_instructions()
+            if predictor.supports(inst)
+        ]
+        assert 0 < len(supported) < len(toy_machine.benchmarkable_instructions())
+        unsupported = [
+            inst for inst in toy_machine.benchmarkable_instructions()
+            if not predictor.supports(inst)
+        ]
+        prediction = predictor.predict(Microkernel.single(unsupported[0]))
+        assert prediction.ipc is None
+
+    def test_determinism(self, toy_machine):
+        backend = PortModelBackend(toy_machine)
+        config = PMEvoConfig(num_ports=3, population_size=20, generations=10, seed=4)
+        first = train_pmevo(backend, toy_machine.benchmarkable_instructions(), config)
+        second = train_pmevo(backend, toy_machine.benchmarkable_instructions(), config)
+        kernel = Microkernel.single(toy_machine.benchmarkable_instructions()[0], 2)
+        assert first.predict(kernel).ipc == second.predict(kernel).ipc

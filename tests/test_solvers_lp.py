@@ -1,0 +1,287 @@
+"""Tests for the LP/MILP modeling layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    InfeasibleError,
+    LinearExpression,
+    Model,
+    SolverError,
+    SolveStatus,
+    UnboundedError,
+    lin_sum,
+)
+
+
+class TestExpressions:
+    def test_variable_arithmetic_builds_expression(self):
+        model = Model()
+        x = model.add_variable("x")
+        expr = 2 * x + 3
+        assert isinstance(expr, LinearExpression)
+        assert expr.terms[x] == 2.0
+        assert expr.constant == 3.0
+
+    def test_expression_addition_merges_terms(self):
+        model = Model()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = (x + y) + (x - y)
+        assert expr.terms[x] == 2.0
+        assert expr.terms.get(y, 0.0) == 0.0
+
+    def test_subtraction_and_negation(self):
+        model = Model()
+        x = model.add_variable("x")
+        expr = 5 - 2 * x
+        assert expr.constant == 5.0
+        assert expr.terms[x] == -2.0
+        negated = -expr
+        assert negated.constant == -5.0
+        assert negated.terms[x] == 2.0
+
+    def test_lin_sum_handles_mixed_items(self):
+        model = Model()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = lin_sum([x, 2 * y, 3.5])
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 2.0
+        assert expr.constant == 3.5
+
+    def test_lin_sum_rejects_bad_items(self):
+        with pytest.raises(TypeError):
+            lin_sum(["not-a-variable"])
+
+    def test_scaling_by_non_number_rejected(self):
+        model = Model()
+        x = model.add_variable("x")
+        with pytest.raises(TypeError):
+            (x + 1) * "2"  # type: ignore[operator]
+
+    def test_expression_value_evaluation(self):
+        model = Model()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 1.0, y: 2.0}) == pytest.approx(9.0)
+
+
+class TestModelBasics:
+    def test_duplicate_variable_name_rejected(self):
+        model = Model()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_variable("x")
+
+    def test_invalid_bounds_rejected(self):
+        model = Model()
+        with pytest.raises(SolverError):
+            model.add_variable("x", lb=2.0, ub=1.0)
+
+    def test_constraint_from_other_model_rejected(self):
+        left = Model("left")
+        right = Model("right")
+        x = left.add_variable("x")
+        with pytest.raises(SolverError):
+            right.add_constraint(x <= 1.0)
+
+    def test_add_constraint_requires_constraint_object(self):
+        model = Model()
+        model.add_variable("x")
+        with pytest.raises(TypeError):
+            model.add_constraint("x <= 1")  # type: ignore[arg-type]
+
+    def test_counts(self):
+        model = Model()
+        x = model.add_variable("x")
+        b = model.add_binary("b")
+        model.add_constraint(x + b <= 1.0)
+        assert model.num_variables == 2
+        assert model.num_integer_variables == 1
+        assert model.num_constraints == 1
+
+    def test_empty_model_solves_trivially(self):
+        model = Model()
+        solution = model.solve()
+        assert solution.is_optimal
+        assert solution.objective == 0.0
+
+
+class TestSolving:
+    def test_simple_lp_maximization(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0)
+        y = model.add_variable("y", lb=0.0)
+        model.add_constraint(x + 2 * y <= 4.0)
+        model.add_constraint(3 * x + y <= 6.0)
+        model.maximize(2 * x + 3 * y)
+        solution = model.solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(6.8, abs=1e-6)
+        assert solution[x] == pytest.approx(1.6, abs=1e-6)
+        assert solution[y] == pytest.approx(1.2, abs=1e-6)
+
+    def test_simple_lp_minimization_with_equality(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0)
+        y = model.add_variable("y", lb=0.0)
+        model.add_equality(x + y, 10.0)
+        model.minimize(3 * x + y)
+        solution = model.solve()
+        assert solution.objective == pytest.approx(10.0)
+        assert solution[x] == pytest.approx(0.0, abs=1e-9)
+        assert solution[y] == pytest.approx(10.0)
+
+    def test_infeasible_raises(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0, ub=1.0)
+        model.add_constraint(x >= 2.0)
+        model.minimize(x)
+        with pytest.raises(InfeasibleError):
+            model.solve()
+
+    def test_unbounded_raises(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0)
+        model.maximize(x)
+        with pytest.raises(UnboundedError):
+            model.solve()
+
+    def test_binary_knapsack(self):
+        model = Model()
+        values = [10, 13, 18, 31, 7, 15]
+        weights = [2, 3, 4, 5, 1, 4]
+        items = [model.add_binary(f"item{i}") for i in range(len(values))]
+        model.add_constraint(
+            lin_sum(items[i] * float(weights[i]) for i in range(len(items))) <= 10.0
+        )
+        model.maximize(lin_sum(items[i] * float(values[i]) for i in range(len(items))))
+        solution = model.solve()
+        assert solution.objective == pytest.approx(56.0)
+        chosen = [i for i, var in enumerate(items) if solution[var] > 0.5]
+        assert chosen == [2, 3, 4]  # weights 4+5+1 = 10, values 18+31+7 = 56
+
+    def test_integer_rounding_in_solution(self):
+        model = Model()
+        b = model.add_binary("b")
+        model.add_constraint(b >= 0.5)
+        model.minimize(b)
+        solution = model.solve()
+        assert solution[b] == 1.0
+
+    def test_solution_value_of_expression(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0, ub=2.0)
+        model.maximize(x)
+        solution = model.solve()
+        assert solution.value(3 * x + 1) == pytest.approx(7.0)
+
+    def test_indicator_leq_enforced_when_active(self):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_variable("x", lb=0.0, ub=10.0)
+        model.add_indicator_leq(b, x, 3.0, big_m=10.0)
+        model.add_constraint(b >= 1.0)
+        model.maximize(x)
+        solution = model.solve()
+        assert solution[x] == pytest.approx(3.0)
+
+    def test_indicator_leq_relaxed_when_inactive(self):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_variable("x", lb=0.0, ub=10.0)
+        model.add_indicator_leq(b, x, 3.0, big_m=10.0)
+        model.add_constraint(b <= 0.0)
+        model.maximize(x)
+        solution = model.solve()
+        assert solution[x] == pytest.approx(10.0)
+
+    def test_indicator_geq(self):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_variable("x", lb=0.0, ub=10.0)
+        model.add_indicator_geq(b, x, 7.0, big_m=10.0)
+        model.add_constraint(b >= 1.0)
+        model.minimize(x)
+        solution = model.solve()
+        assert solution[x] == pytest.approx(7.0)
+
+    def test_indicator_requires_binary(self):
+        model = Model()
+        x = model.add_variable("x", lb=0.0, ub=1.0)
+        y = model.add_variable("y")
+        with pytest.raises(SolverError):
+            model.add_indicator_leq(x, y, 1.0)
+
+    def test_add_exists_requires_selectors(self):
+        model = Model()
+        with pytest.raises(SolverError):
+            model.add_exists([])
+
+    def test_add_exists_forces_one_selector(self):
+        model = Model()
+        selectors = [model.add_binary(f"s{i}") for i in range(3)]
+        model.add_exists(selectors)
+        model.minimize(lin_sum(selectors))
+        solution = model.solve()
+        assert sum(solution[s] for s in selectors) == pytest.approx(1.0)
+
+
+class TestStatusMapping:
+    def test_status_codes(self):
+        assert Model._map_status(0) is SolveStatus.OPTIMAL
+        assert Model._map_status(1) is SolveStatus.LIMIT
+        assert Model._map_status(2) is SolveStatus.INFEASIBLE
+        assert Model._map_status(3) is SolveStatus.UNBOUNDED
+        assert Model._map_status(99) is SolveStatus.ERROR
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        capacity=st.floats(min_value=1.0, max_value=50.0),
+        coefficients=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=6
+        ),
+    )
+    def test_single_constraint_lp_optimum_is_analytic(self, capacity, coefficients):
+        """max Σ x_i s.t. Σ c_i x_i <= C equals C / min(c_i) (put all mass on min)."""
+        model = Model()
+        variables = [model.add_variable(f"x{i}", lb=0.0) for i in range(len(coefficients))]
+        model.add_constraint(
+            lin_sum(v * c for v, c in zip(variables, coefficients)) <= capacity
+        )
+        model.maximize(lin_sum(variables))
+        solution = model.solve()
+        assert solution.objective == pytest.approx(capacity / min(coefficients), rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bounds=st.lists(
+            st.tuples(
+                st.floats(min_value=-5.0, max_value=5.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_box_lp_optimum_is_sum_of_upper_bounds(self, bounds):
+        model = Model()
+        variables = []
+        expected = 0.0
+        for index, (lower, width) in enumerate(bounds):
+            upper = lower + width
+            variables.append(model.add_variable(f"x{index}", lb=lower, ub=upper))
+            expected += upper
+        model.maximize(lin_sum(variables))
+        solution = model.solve()
+        assert solution.objective == pytest.approx(expected, abs=1e-6)
+        assert math.isfinite(solution.objective)

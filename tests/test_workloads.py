@@ -1,0 +1,167 @@
+"""Tests for the synthetic basic-block suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Microkernel, PortModelBackend
+from repro.isa import Extension, Instruction, InstructionKind, build_default_isa
+from repro.workloads import (
+    BasicBlock,
+    BenchmarkSuite,
+    KERNEL_SPECS,
+    generate_polybench_like_suite,
+    generate_spec_like_suite,
+    lower_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return build_default_isa(160, seed=0)
+
+
+def make_block(name: str, weight: float = 1.0) -> BasicBlock:
+    inst = Instruction(f"{name}_OP", InstructionKind.INT_ALU, Extension.BASE, 64)
+    return BasicBlock(name=name, kernel=Microkernel.single(inst), weight=weight)
+
+
+class TestBasicBlockAndSuite:
+    def test_weight_must_be_positive(self):
+        inst = Instruction("W_OP", InstructionKind.INT_ALU, Extension.BASE, 64)
+        with pytest.raises(ValueError):
+            BasicBlock(name="bad", kernel=Microkernel.single(inst), weight=0.0)
+
+    def test_duplicate_names_rejected(self):
+        suite = BenchmarkSuite(name="s", blocks=[make_block("a")])
+        with pytest.raises(ValueError):
+            suite.add(make_block("a"))
+        with pytest.raises(ValueError):
+            BenchmarkSuite(name="s", blocks=[make_block("a"), make_block("a")])
+
+    def test_total_weight_and_len(self):
+        suite = BenchmarkSuite("s", [make_block("a", 2.0), make_block("b", 3.0)])
+        assert len(suite) == 2
+        assert suite.total_weight == pytest.approx(5.0)
+
+    def test_filtered_and_restricted(self):
+        suite = BenchmarkSuite("s", [make_block("a", 2.0), make_block("b", 3.0)])
+        heavy = suite.filtered(lambda block: block.weight > 2.5)
+        assert [block.name for block in heavy] == ["b"]
+        allowed = list(suite.blocks[0].instructions())
+        restricted = suite.restricted_to(allowed)
+        assert [block.name for block in restricted] == ["a"]
+
+    def test_histogram_and_summary(self):
+        suite = BenchmarkSuite("s", [make_block("a", 2.0)])
+        histogram = suite.instruction_histogram()
+        assert sum(histogram.values()) == pytest.approx(2.0)
+        assert "1 blocks" in suite.summary()
+
+
+class TestSpecLikeSuite:
+    def test_deterministic(self, isa):
+        first = generate_spec_like_suite(isa, n_blocks=50, seed=3)
+        second = generate_spec_like_suite(isa, n_blocks=50, seed=3)
+        assert [block.kernel for block in first] == [block.kernel for block in second]
+
+    def test_block_count_and_sizes(self, isa):
+        suite = generate_spec_like_suite(isa, n_blocks=80, seed=0)
+        assert len(suite) == 80
+        for block in suite:
+            assert 3 <= block.num_instructions <= 24
+
+    def test_no_avx_and_no_jumps(self, isa):
+        suite = generate_spec_like_suite(isa, n_blocks=60, seed=1)
+        for block in suite:
+            for instruction in block.instructions():
+                assert instruction.extension is not Extension.AVX
+                assert instruction.is_benchmarkable
+
+    def test_integer_dominated_mix(self, isa):
+        suite = generate_spec_like_suite(isa, n_blocks=120, seed=0)
+        histogram = suite.instruction_histogram()
+        total = sum(histogram.values())
+        fp_weight = sum(
+            count for inst, count in histogram.items() if inst.kind.is_floating_point
+        )
+        assert fp_weight / total < 0.1
+
+    def test_rejects_zero_blocks(self, isa):
+        with pytest.raises(ValueError):
+            generate_spec_like_suite(isa, n_blocks=0)
+
+    def test_blocks_run_on_machines(self, isa, small_skl_machine):
+        suite = generate_spec_like_suite(small_skl_machine.instructions, n_blocks=20, seed=5)
+        backend = PortModelBackend(small_skl_machine)
+        for block in suite:
+            assert backend.ipc(block.kernel) > 0
+
+
+class TestKernelLowering:
+    def test_all_specs_lower_on_default_isa(self, isa):
+        for spec in KERNEL_SPECS.values():
+            kernel = lower_kernel(spec, isa, vector_extension=Extension.SSE)
+            assert kernel.size >= spec.loads + spec.stores
+
+    def test_no_mixed_extensions(self, isa):
+        for extension in (Extension.SSE, Extension.AVX):
+            for spec in KERNEL_SPECS.values():
+                kernel = lower_kernel(spec, isa, vector_extension=extension)
+                extensions = {inst.extension for inst in kernel.instructions}
+                assert not ({Extension.SSE, Extension.AVX} <= extensions)
+
+    def test_gemm_contains_fma_in_avx(self, isa):
+        kernel = lower_kernel(KERNEL_SPECS["gemm"], isa, vector_extension=Extension.AVX)
+        kinds = {inst.kind for inst in kernel.instructions}
+        assert InstructionKind.FP_FMA in kinds
+
+    def test_gemm_scalar_falls_back_to_mul_add(self, isa):
+        sse_only = [inst for inst in isa if inst.extension is not Extension.AVX]
+        kernel = lower_kernel(KERNEL_SPECS["gemm"], sse_only, vector_extension=Extension.SSE)
+        kinds = {inst.kind for inst in kernel.instructions}
+        assert InstructionKind.FP_MUL in kinds
+        assert InstructionKind.FP_FMA not in kinds
+
+    def test_unloweable_kernel_raises(self):
+        with pytest.raises(ValueError):
+            lower_kernel(KERNEL_SPECS["gemm"], [], vector_extension=Extension.SSE)
+
+
+class TestPolybenchLikeSuite:
+    def test_contains_all_kernels(self, isa):
+        suite = generate_polybench_like_suite(isa, seed=0)
+        sources = {block.source for block in suite}
+        assert set(KERNEL_SPECS) <= sources
+
+    def test_sse_and_avx_variants(self, isa):
+        suite = generate_polybench_like_suite(isa, seed=0, include_avx=True)
+        names = [block.name for block in suite]
+        assert any(name.endswith(".sse") for name in names)
+        assert any(name.endswith(".avx") for name in names)
+        without_avx = generate_polybench_like_suite(isa, seed=0, include_avx=False)
+        assert not any(block.name.endswith(".avx") for block in without_avx)
+
+    def test_fp_dominated_mix(self, isa):
+        suite = generate_polybench_like_suite(isa, seed=0)
+        histogram = suite.instruction_histogram()
+        total = sum(histogram.values())
+        fp_or_mem = sum(
+            count
+            for inst, count in histogram.items()
+            if inst.kind.is_floating_point or inst.kind.is_memory
+        )
+        assert fp_or_mem / total > 0.5
+
+    def test_deterministic(self, isa):
+        first = generate_polybench_like_suite(isa, seed=2)
+        second = generate_polybench_like_suite(isa, seed=2)
+        assert [block.kernel for block in first] == [block.kernel for block in second]
+
+    def test_blocks_run_on_machines(self, small_skl_machine):
+        suite = generate_polybench_like_suite(
+            small_skl_machine.instructions, seed=0, bookkeeping_blocks=5
+        )
+        backend = PortModelBackend(small_skl_machine)
+        for block in suite:
+            assert backend.ipc(block.kernel) > 0
