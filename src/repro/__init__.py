@@ -42,6 +42,10 @@ from repro.machines import (
     build_toy_machine,
     build_zen_like_machine,
 )
+from repro.measure import (
+    MeasurementCache,
+    ParallelDispatcher,
+)
 from repro.simulator import (
     GreedyCycleSimulator,
     LpReferenceBackend,
@@ -62,8 +66,10 @@ __all__ = [
     "LpReferenceBackend",
     "Machine",
     "MeasurementBackend",
+    "MeasurementCache",
     "MeasurementNoise",
     "MicroOp",
+    "ParallelDispatcher",
     "Microkernel",
     "Palmed",
     "PalmedConfig",

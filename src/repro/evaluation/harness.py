@@ -4,6 +4,12 @@ For every basic block of a suite the harness measures the native IPC of the
 corresponding microkernel on the machine backend, queries every predictor,
 and aggregates the per-tool coverage, weighted RMS error and Kendall's τ —
 exactly the three columns reported per (machine, suite, tool) in the paper.
+
+Native measurements go through the batched measurement layer
+(:mod:`repro.measure`): the whole suite is measured in one batch, optionally
+fanned out over worker processes and served from a persistent
+:class:`~repro.measure.MeasurementCache`, so re-evaluating suites against a
+machine that a PALMED run already characterized costs no re-measurement.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.measure import MeasurementCache, ParallelDispatcher, backend_fingerprint
 from repro.predictors.base import Prediction, Predictor
 from repro.evaluation.metrics import coverage as coverage_metric
 from repro.evaluation.metrics import kendall_tau, rms_error
@@ -101,23 +108,71 @@ class EvaluationResult:
         return values
 
 
+def _native_ipcs(
+    backend: MeasurementBackend,
+    blocks: List[BasicBlock],
+    dispatcher: ParallelDispatcher,
+    cache: Optional[MeasurementCache],
+) -> List[Optional[float]]:
+    """Native IPC of every block (``None`` where unmeasurable), batched.
+
+    Persistent-cache hits skip the backend entirely; everything else is
+    measured in one dispatcher call.  Failed kernels (an instruction the
+    machine does not implement) are never cached.
+    """
+    fingerprint = backend_fingerprint(backend) if cache is not None else None
+    values: List[Optional[float]] = [None] * len(blocks)
+    missing: List[int] = []
+    for index, block in enumerate(blocks):
+        if fingerprint is not None:
+            cached = cache.lookup(fingerprint, block.kernel)
+            if cached is not None:
+                values[index] = cached
+                continue
+        missing.append(index)
+    measured = dispatcher.measure_safe(backend, [blocks[i].kernel for i in missing])
+    for index, value in zip(missing, measured):
+        values[index] = value
+        if value is not None and fingerprint is not None:
+            cache.store(fingerprint, blocks[index].kernel, value)
+    if cache is not None:
+        cache.save()
+    return values
+
+
 def evaluate_predictors(
     backend: MeasurementBackend,
     suite: BenchmarkSuite,
     predictors: Sequence[Predictor],
     machine_name: str = "",
+    workers: int = 0,
+    cache: Optional[MeasurementCache] = None,
+    dispatcher: Optional[ParallelDispatcher] = None,
 ) -> EvaluationResult:
     """Run every predictor on every block of a suite against native execution.
 
     Blocks whose native IPC cannot be measured (e.g. they contain an
     instruction the machine does not implement) are skipped, mirroring the
     paper's restriction to the blocks its back-end can generate.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the native measurements (``0``/``1`` =
+        in-process, the historical behaviour).  Ignored when an explicit
+        ``dispatcher`` is given.
+    cache:
+        Optional persistent measurement cache; re-running the harness (or
+        running it after a PALMED run that used the same cache and backend)
+        then skips every already-measured kernel.
     """
+    if dispatcher is None:
+        dispatcher = ParallelDispatcher(workers=workers)
+    blocks = list(suite)
+    natives = _native_ipcs(backend, blocks, dispatcher, cache)
     records: List[BlockRecord] = []
-    for block in suite:
-        try:
-            native_ipc = backend.ipc(block.kernel)
-        except KeyError:
+    for block, native_ipc in zip(blocks, natives):
+        if native_ipc is None:
             continue
         record = BlockRecord(block=block, native_ipc=native_ipc)
         for predictor in predictors:

@@ -1,0 +1,165 @@
+"""Persistent, content-keyed measurement cache.
+
+On real hardware one microbenchmark costs milliseconds to seconds of
+wall-clock (generation, assembly, warm-up, repeated timed runs), and the
+PALMED pipeline measures O(n²) of them.  Repeated runs — ablations, the
+evaluation harness, re-runs with different LP settings — keep asking for the
+*same* kernels on the *same* machine.  :class:`MeasurementCache` makes every
+measurement pay for itself once: results are stored under a
+``(backend fingerprint, kernel key)`` pair in memory and, optionally, in an
+on-disk JSON store shared across processes and runs.
+
+Keying on the backend *content* fingerprint (machine model, noise
+parameters, backend class — see :mod:`repro.measure.fingerprint`) means a
+changed machine model or noise seed can never serve stale values: the
+fingerprint changes, and every lookup misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.mapping.microkernel import Microkernel
+from repro.measure.fingerprint import kernel_key
+
+_FORMAT_VERSION = 1
+
+
+class MeasurementCache:
+    """In-memory + on-disk store of per-kernel IPC measurements.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file backing the cache.  When given, existing entries
+        are loaded eagerly (a corrupt or incompatible file is ignored with a
+        warning rather than aborting the run) and :meth:`save` persists the
+        current contents atomically.  ``None`` keeps the cache purely
+        in-memory.
+
+    Notes
+    -----
+    Values are stored with full float precision (JSON serialization of a
+    Python float round-trips exactly), so a cache hit is bitwise identical
+    to re-measuring on a deterministic backend — the differential test
+    suite relies on this.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._entries: Dict[str, Dict[str, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    # -- lookup / store ------------------------------------------------------
+    def lookup(self, fingerprint: str, kernel: Microkernel) -> Optional[float]:
+        """Cached IPC of ``kernel`` on the backend, or ``None`` (counts hit/miss)."""
+        value = self._entries.get(fingerprint, {}).get(kernel_key(kernel))
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store(self, fingerprint: str, kernel: Microkernel, ipc: float) -> None:
+        """Record the measured IPC of ``kernel`` under the backend fingerprint."""
+        self._entries.setdefault(fingerprint, {})[kernel_key(kernel)] = float(ipc)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, tuple) or len(item) != 2:
+            return False
+        fingerprint, kernel = item
+        return kernel_key(kernel) in self._entries.get(fingerprint, {})
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    def summary(self) -> str:
+        """One-line accounting summary (used by the benchmark reports)."""
+        return (
+            f"cache: {len(self)} entries, {self.hits} hits / {self.misses} misses "
+            f"(hit rate {100.0 * self.hit_rate:.1f}%)"
+        )
+
+    # -- persistence ---------------------------------------------------------
+    def _read_disk_entries(self, warn: bool = True) -> Dict[str, Dict[str, float]]:
+        """Best-effort read of the on-disk store (empty on missing/corrupt)."""
+        if self.path is None or not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            if payload.get("version") != _FORMAT_VERSION:
+                raise ValueError(f"unsupported cache version {payload.get('version')!r}")
+            return {
+                str(fingerprint): {str(key): float(value) for key, value in bucket.items()}
+                for fingerprint, bucket in payload["entries"].items()
+            }
+        except (OSError, ValueError, KeyError, AttributeError, TypeError) as error:
+            if warn:
+                warnings.warn(
+                    f"ignoring unreadable measurement cache {self.path}: {error}",
+                    stacklevel=3,
+                )
+            return {}
+
+    def load(self) -> None:
+        """(Re)load entries from :attr:`path`, merging over in-memory ones."""
+        for fingerprint, bucket in self._read_disk_entries().items():
+            self._entries.setdefault(fingerprint, {}).update(bucket)
+
+    def save(self) -> None:
+        """Atomically persist the cache to :attr:`path` (no-op when in-memory).
+
+        The on-disk file is re-read and merged under the in-memory entries
+        first, so concurrent runs sharing one cache path append to each
+        other's measurements instead of clobbering them (for identical keys
+        the deterministic backends make both writers agree anyway).
+        """
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        merged = self._read_disk_entries(warn=False)
+        for fingerprint, bucket in self._entries.items():
+            merged.setdefault(fingerprint, {}).update(bucket)
+        payload = {"version": _FORMAT_VERSION, "entries": merged}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Drop every entry (counters included)."""
+        self._entries.clear()
+        self.reset_counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        location = str(self.path) if self.path is not None else "in-memory"
+        return f"MeasurementCache({location}, entries={len(self)})"

@@ -1,0 +1,77 @@
+"""Content fingerprints for kernels and measurement backends.
+
+The persistent :class:`~repro.measure.cache.MeasurementCache` keys every
+entry on *what was measured* (the kernel) and *what it was measured on* (the
+backend).  Both sides are content-addressed:
+
+* :func:`kernel_key` serializes a :class:`~repro.mapping.microkernel.Microkernel`
+  into a canonical string — instruction names sorted, multiplicities written
+  with ``repr`` so the float round-trips exactly;
+* :func:`machine_fingerprint` hashes the full ground-truth machine model
+  (ports, per-instruction µOP decompositions, occupancies, front-end width);
+* :func:`backend_fingerprint` asks the backend for its own
+  :meth:`fingerprint` (all bundled backends provide one covering the machine
+  model and every parameter that influences measured values, e.g. the noise
+  seed), so swapping the machine model or the noise configuration
+  automatically invalidates every cached measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.machines.machine import Machine
+from repro.mapping.microkernel import Microkernel
+
+
+def kernel_key(kernel: Microkernel) -> str:
+    """Canonical cache key of a kernel: ``"NAME:repr(count) ..."`` sorted by name.
+
+    ``repr`` of a Python float round-trips exactly, so two kernels share a
+    key if and only if they are equal (same instructions, bitwise-identical
+    multiplicities).
+    """
+    return " ".join(f"{inst.name}:{count!r}" for inst, count in kernel.items())
+
+
+def machine_fingerprint(machine: Machine) -> str:
+    """SHA-256 digest of the complete ground-truth machine description."""
+    digest = hashlib.sha256()
+    digest.update(machine.name.encode("utf-8"))
+    digest.update(repr(float(machine.front_end_width)).encode("utf-8"))
+    digest.update("|".join(machine.ports).encode("utf-8"))
+    for instruction in machine.instructions:
+        digest.update(
+            f"{instruction.name};{instruction.kind.value};"
+            f"{instruction.extension.value};{instruction.width};"
+            f"{instruction.variant}".encode("utf-8")
+        )
+        for uop in machine.port_mapping.uops(instruction):
+            digest.update(
+                f"[{','.join(sorted(uop.ports))}]x{uop.occupancy!r}".encode("utf-8")
+            )
+    return digest.hexdigest()
+
+
+def combine_fingerprint(*parts: object) -> str:
+    """Hash a tuple of already-canonical parts into one digest string."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(str(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def backend_fingerprint(backend: object) -> Optional[str]:
+    """Content fingerprint of a measurement backend, or ``None``.
+
+    Returns ``None`` when the backend does not expose a :meth:`fingerprint`
+    method — such backends cannot participate in persistent caching (their
+    measured values cannot be tied to a stable identity), and the
+    measurement layer silently degrades to uncached operation for them.
+    """
+    method = getattr(backend, "fingerprint", None)
+    if method is None:
+        return None
+    return str(method())

@@ -13,15 +13,24 @@ backend.  This module centralizes the kernel shapes PALMED uses —
 rounded so that they differ by at most ε from the ideal values) and a
 :class:`BenchmarkRunner` that memoizes measurements and counts how many
 distinct benchmarks were executed.
+
+The runner is also the integration point of the batched measurement layer
+(:mod:`repro.measure`): :meth:`BenchmarkRunner.ipc_batch` deduplicates a
+batch of kernels, serves what it can from the persistent
+:class:`~repro.measure.MeasurementCache`, and hands the rest to a
+:class:`~repro.measure.ParallelDispatcher` in one shot.  The scalar
+:meth:`BenchmarkRunner.ipc` is a batch of size one, so both paths yield
+bitwise-identical values.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.isa.instruction import Extension, Instruction
 from repro.mapping.microkernel import Microkernel
+from repro.measure import MeasurementCache, ParallelDispatcher, backend_fingerprint
 from repro.palmed.config import PalmedConfig
 from repro.simulator.backend import MeasurementBackend
 
@@ -74,12 +83,46 @@ class BenchmarkRunner:
     Wraps a :class:`MeasurementBackend`, optionally quantizes kernel
     coefficients before measuring (mirroring the paper's generator
     limitations), and memoizes results.
+
+    Parameters
+    ----------
+    backend:
+        The measurement backend ("the hardware").
+    config:
+        Pipeline parameters; ``config.parallelism`` sizes the default
+        dispatcher and ``config.cache_path`` the default persistent cache.
+    cache:
+        Persistent measurement cache shared across runs.  ``None`` builds
+        one from ``config.cache_path`` (or disables persistence).
+    dispatcher:
+        Batch-execution strategy.  ``None`` builds one from
+        ``config.parallelism``.
     """
 
-    def __init__(self, backend: MeasurementBackend, config: Optional[PalmedConfig] = None) -> None:
+    def __init__(
+        self,
+        backend: MeasurementBackend,
+        config: Optional[PalmedConfig] = None,
+        cache: Optional[MeasurementCache] = None,
+        dispatcher: Optional[ParallelDispatcher] = None,
+    ) -> None:
         self.backend = backend
         self.config = config if config is not None else PalmedConfig()
+        if cache is None and self.config.cache_path is not None:
+            cache = MeasurementCache(self.config.cache_path)
+        self.cache = cache
+        self.dispatcher = (
+            dispatcher
+            if dispatcher is not None
+            else ParallelDispatcher(workers=self.config.parallelism)
+        )
+        self._fingerprint = backend_fingerprint(backend) if cache is not None else None
         self._ipc_cache: Dict[Microkernel, float] = {}
+        #: IPC keyed by the kernel actually handed to the backend
+        #: (post-quantization); several requested kernels may share one.
+        self._measured_ipc: Dict[Microkernel, float] = {}
+        self._num_measured = 0
+        self._num_cache_served = 0
 
     # -- measurements -------------------------------------------------------
     def ipc(self, kernel: Microkernel) -> float:
@@ -87,12 +130,58 @@ class BenchmarkRunner:
         cached = self._ipc_cache.get(kernel)
         if cached is not None:
             return cached
-        measured_kernel = kernel
+        return self.ipc_batch([kernel])[0]
+
+    def ipc_batch(self, kernels: Sequence[Microkernel]) -> List[float]:
+        """Measured IPC of every kernel, in input order.
+
+        The batch is deduplicated, served from the runner's memo and the
+        persistent cache where possible, and the remaining kernels are
+        measured in one dispatcher call (sequentially or over a process
+        pool, per the configuration).  Values are bitwise identical to the
+        scalar :meth:`ipc` path regardless of batching, worker count or
+        cache state.
+        """
+        kernels = list(kernels)
+        to_measure: List[Microkernel] = []
+        queued = set()
+        for kernel in kernels:
+            if kernel in self._ipc_cache:
+                continue
+            measured_kernel = self._quantized(kernel)
+            if measured_kernel in self._measured_ipc or measured_kernel in queued:
+                continue
+            if self.cache is not None and self._fingerprint is not None:
+                value = self.cache.lookup(self._fingerprint, measured_kernel)
+                if value is not None:
+                    self._measured_ipc[measured_kernel] = value
+                    self._num_cache_served += 1
+                    continue
+            queued.add(measured_kernel)
+            to_measure.append(measured_kernel)
+
+        if to_measure:
+            values = self.dispatcher.measure(self.backend, to_measure)
+            for measured_kernel, value in zip(to_measure, values):
+                self._measured_ipc[measured_kernel] = value
+                self._num_measured += 1
+                if self.cache is not None and self._fingerprint is not None:
+                    self.cache.store(self._fingerprint, measured_kernel, value)
+
+        results: List[float] = []
+        for kernel in kernels:
+            value = self._ipc_cache.get(kernel)
+            if value is None:
+                value = self._measured_ipc[self._quantized(kernel)]
+                self._ipc_cache[kernel] = value
+            results.append(value)
+        return results
+
+    def _quantized(self, kernel: Microkernel) -> Microkernel:
+        """The kernel actually handed to the backend for measurement."""
         if self.config.quantize_coefficients:
-            measured_kernel = quantize_kernel(kernel, self.config.epsilon)
-        value = self.backend.ipc(measured_kernel)
-        self._ipc_cache[kernel] = value
-        return value
+            return quantize_kernel(kernel, self.config.epsilon)
+        return kernel
 
     def cycles(self, kernel: Microkernel) -> float:
         """Measured cycles per loop iteration of a kernel."""
@@ -102,10 +191,39 @@ class BenchmarkRunner:
         """Measured standalone IPC of one instruction (``a`` in the paper)."""
         return self.ipc(Microkernel.single(instruction))
 
+    def prefetch(self, kernels: Iterable[Microkernel]) -> None:
+        """Warm the runner's memo for a set of kernels in one batch.
+
+        Used by the pipeline stages to front-load their measurement demand
+        (and thus benefit from parallel dispatch) before entering code that
+        consumes measurements one at a time.
+        """
+        self.ipc_batch(list(kernels))
+
     @property
     def num_benchmarks(self) -> int:
-        """Number of distinct microbenchmarks measured so far."""
-        return self.backend.measurement_count
+        """Number of distinct microbenchmarks this runner asked for.
+
+        Counts kernels actually measured this run plus kernels served from
+        the persistent cache (both correspond to generated microbenchmarks
+        in the paper's Table II accounting).
+        """
+        return self._num_measured + self._num_cache_served
+
+    @property
+    def num_benchmarks_measured(self) -> int:
+        """Distinct kernels measured on the backend during this run."""
+        return self._num_measured
+
+    @property
+    def num_benchmarks_cached(self) -> int:
+        """Distinct kernels served from the persistent cache this run."""
+        return self._num_cache_served
+
+    def flush_cache(self) -> None:
+        """Persist the measurement cache to disk (no-op when not configured)."""
+        if self.cache is not None:
+            self.cache.save()
 
     # -- kernel shapes --------------------------------------------------------
     def pair_kernel(self, a: Instruction, b: Instruction) -> Microkernel:

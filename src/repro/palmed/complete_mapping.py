@@ -75,6 +75,34 @@ def map_single_instruction(
     }
 
 
+def _prefetch_lpaux_benchmarks(
+    runner: BenchmarkRunner,
+    instructions: List[Instruction],
+    core: CoreMappingResult,
+    config: PalmedConfig,
+) -> None:
+    """Batch-measure every LPAUX benchmark before the per-instruction LPs.
+
+    The LPAUX phase needs ``|instructions| × |resources|`` saturating
+    benchmarks plus the singletons; issuing them as one batch lets the
+    measurement layer parallelize and consult the persistent cache, while
+    :func:`map_single_instruction` then reads everything from the runner's
+    memo.  The measured set (and every value) is exactly what the
+    one-at-a-time path would have produced.
+    """
+    runner.prefetch(Microkernel.single(instruction) for instruction in instructions)
+    kernels: List[Microkernel] = []
+    for instruction in instructions:
+        for resource in sorted(core.saturating_kernels):
+            saturating = core.saturating_kernels[resource]
+            if config.separate_extensions and _kernel_mixes_extensions(
+                instruction, saturating
+            ):
+                continue
+            kernels.append(runner.saturating_benchmark(instruction, saturating))
+    runner.prefetch(kernels)
+
+
 def complete_mapping(
     runner: BenchmarkRunner,
     instructions: Iterable[Instruction],
@@ -92,10 +120,14 @@ def complete_mapping(
         ``"raise"`` propagates the solver error.
     """
     core_instructions = set(core.basic_rho)
+    remaining = [
+        instruction
+        for instruction in sorted(set(instructions), key=lambda inst: inst.name)
+        if instruction not in core_instructions
+    ]
+    _prefetch_lpaux_benchmarks(runner, remaining, core, config)
     mapped: Dict[Instruction, Dict[int, float]] = {}
-    for instruction in sorted(set(instructions), key=lambda inst: inst.name):
-        if instruction in core_instructions:
-            continue
+    for instruction in remaining:
         try:
             mapped[instruction] = map_single_instruction(runner, instruction, core, config)
         except SolverError:

@@ -77,6 +77,17 @@ class PalmedConfig:
         Inferred usages below this value are dropped from the final mapping.
     milp_time_limit:
         Time limit (seconds) handed to the MILP solver for LP1/LP2.
+    parallelism:
+        Number of worker processes used by the batched measurement layer
+        (:class:`repro.measure.ParallelDispatcher`).  ``0`` or ``1`` keeps
+        every measurement in-process (the seed behaviour); larger values fan
+        benchmark batches out over a process pool.  The inferred mapping is
+        identical for every setting (see ``tests/test_measure_parallel.py``).
+    cache_path:
+        Optional path of the persistent on-disk measurement cache
+        (:class:`repro.measure.MeasurementCache`).  ``None`` disables
+        persistence; repeated runs with the same machine model and noise
+        configuration then re-measure every kernel.
     """
 
     n_basic: Optional[int] = None
@@ -99,8 +110,12 @@ class PalmedConfig:
     include_singleton_in_lpaux: bool = True
     edge_threshold: float = 1e-3
     milp_time_limit: float = 120.0
+    parallelism: int = 0
+    cache_path: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.parallelism < 0:
+            raise ValueError("parallelism must be non-negative")
         if self.n_basic is not None and self.n_basic < 2:
             raise ValueError("n_basic must be at least 2 (or None for automatic sizing)")
         if self.n_basic_cap < 2:

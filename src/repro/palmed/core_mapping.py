@@ -79,16 +79,19 @@ def _seed_observations(
     runner: BenchmarkRunner, selection: BasicSelectionResult
 ) -> List[KernelObservation]:
     """The seed benchmark set of Algorithm 2: ``{a, a^a b^b, a^M b}``."""
-    observations: List[KernelObservation] = []
+    kernels: List[Microkernel] = []
     seen = set()
 
     def add(kernel: Microkernel) -> None:
         if kernel in seen:
             return
         seen.add(kernel)
-        observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+        kernels.append(kernel)
 
     basic = selection.basic
+    # The singles are already warm: compute_core_mapping (the only caller)
+    # batch-prefetches them before building pair kernels, which consume
+    # their IPC.
     for instruction in basic:
         add(Microkernel.single(instruction))
     for i, a in enumerate(basic):
@@ -98,7 +101,10 @@ def _seed_observations(
             add(runner.pair_kernel(a, b))
             add(runner.repeated_pair_kernel(a, b))
             add(runner.repeated_pair_kernel(b, a))
-    return observations
+    ipcs = runner.ipc_batch(kernels)
+    return [
+        KernelObservation(kernel=kernel, ipc=ipc) for kernel, ipc in zip(kernels, ipcs)
+    ]
 
 
 def _enrichment_kernels(
@@ -172,6 +178,7 @@ def compute_core_mapping(
     config: PalmedConfig,
 ) -> CoreMappingResult:
     """Run Algorithm 2: iterated LP1, LP2, saturating-kernel selection."""
+    runner.prefetch(Microkernel.single(inst) for inst in selection.basic)
     single_ipc = {inst: runner.ipc_single(inst) for inst in selection.basic}
     observations = _seed_observations(runner, selection)
     known_kernels = {obs.kernel for obs in observations}
@@ -180,9 +187,9 @@ def compute_core_mapping(
     shape: Optional[ShapeMapping] = None
     iterations = 0
     for iterations in range(1, config.lp1_max_iterations + 1):
-        start = time.perf_counter()
+        start = time.monotonic()
         shape = solve_shape(observations, selection, single_ipc, config)
-        lp_time += time.perf_counter() - start
+        lp_time += time.monotonic() - start
         new_kernels = [
             kernel
             for kernel in _enrichment_kernels(runner, shape, single_ipc)
@@ -190,9 +197,10 @@ def compute_core_mapping(
         ]
         if not new_kernels:
             break
-        for kernel in new_kernels:
+        new_ipcs = runner.ipc_batch(new_kernels)
+        for kernel, ipc in zip(new_kernels, new_ipcs):
             known_kernels.add(kernel)
-            observations.append(KernelObservation(kernel=kernel, ipc=runner.ipc(kernel)))
+            observations.append(KernelObservation(kernel=kernel, ipc=ipc))
     assert shape is not None
 
     problem = WeightProblem(
@@ -202,9 +210,9 @@ def compute_core_mapping(
         frozen_rho={},
         rho_upper_bound=1.0,
     )
-    start = time.perf_counter()
+    start = time.monotonic()
     weights = solve_weights(problem, config)
-    lp_time += time.perf_counter() - start
+    lp_time += time.monotonic() - start
 
     saturating = _select_saturating_kernels(
         weights.rho, observations, shape, single_ipc, runner, config.epsilon

@@ -41,9 +41,20 @@ class QuadraticBenchmarks:
         self._measure()
 
     def _measure(self) -> None:
+        """Measure all singles, then all pairs, as two batched sweeps.
+
+        Batching lets the measurement layer deduplicate, serve cached
+        kernels and fan the rest out over worker processes; the measured
+        values are identical to the historical one-at-a-time loop.
+        """
         config = self.runner.config
-        for instruction in self.instructions:
-            self._single_ipc[instruction] = self.runner.ipc_single(instruction)
+        singles = self.runner.ipc_batch(
+            [Microkernel.single(instruction) for instruction in self.instructions]
+        )
+        for instruction, value in zip(self.instructions, singles):
+            self._single_ipc[instruction] = value
+
+        measurable_pairs: List[Tuple[Instruction, Instruction]] = []
         for i, a in enumerate(self.instructions):
             for b in self.instructions[i + 1 :]:
                 if config.separate_extensions and mixes_vector_extensions(a, b):
@@ -55,10 +66,17 @@ class QuadraticBenchmarks:
                     value = self._single_ipc[a] + self._single_ipc[b]
                     self._unmeasurable.add((a, b))
                     self._unmeasurable.add((b, a))
+                    self._pair_ipc[(a, b)] = value
+                    self._pair_ipc[(b, a)] = value
                 else:
-                    value = self.runner.ipc(self.runner.pair_kernel(a, b))
-                self._pair_ipc[(a, b)] = value
-                self._pair_ipc[(b, a)] = value
+                    measurable_pairs.append((a, b))
+
+        pair_values = self.runner.ipc_batch(
+            [self.runner.pair_kernel(a, b) for a, b in measurable_pairs]
+        )
+        for (a, b), value in zip(measurable_pairs, pair_values):
+            self._pair_ipc[(a, b)] = value
+            self._pair_ipc[(b, a)] = value
 
     # -- accessors -------------------------------------------------------------
     def single_ipc(self, instruction: Instruction) -> float:

@@ -1,8 +1,17 @@
-"""The measurement-backend interface PALMED runs against."""
+"""The measurement-backend interface PALMED runs against.
+
+Backends expose both a scalar path (:meth:`MeasurementBackend.ipc` /
+:meth:`MeasurementBackend.cycles`) and a vectorized
+:meth:`MeasurementBackend.measure_batch` used by the batched measurement
+layer (:mod:`repro.measure`).  The batch path is *required* to return
+bitwise-identical values to the scalar path — the parallel dispatcher and
+the persistent cache rely on it to keep inferred mappings independent of
+how the measurements were scheduled.
+"""
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import List, Protocol, Sequence, runtime_checkable
 
 from repro.mapping.microkernel import Microkernel
 
@@ -17,6 +26,12 @@ class MeasurementBackend(Protocol):
     that the inference is reproducible, and to count how many distinct
     benchmarks they were asked to run (the paper's "generated
     microbenchmarks" statistic of Table II).
+
+    Backends that want to participate in persistent measurement caching
+    additionally expose a ``fingerprint()`` method returning a stable
+    content hash of everything that influences measured values (machine
+    model, noise configuration, simulation horizon, ...); see
+    :func:`repro.measure.backend_fingerprint`.
     """
 
     def cycles(self, kernel: Microkernel) -> float:
@@ -25,6 +40,16 @@ class MeasurementBackend(Protocol):
 
     def ipc(self, kernel: Microkernel) -> float:
         """Steady-state instructions per cycle of the kernel."""
+        ...
+
+    def measure_batch(self, kernels: Sequence[Microkernel]) -> List[float]:
+        """IPC of every kernel, in input order.
+
+        Must be observationally identical to calling :meth:`ipc` on each
+        kernel in sequence (bitwise-equal floats, same internal measurement
+        accounting); implementations are free to vectorize or reorder
+        internally as long as that contract holds.
+        """
         ...
 
     @property

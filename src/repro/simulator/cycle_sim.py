@@ -103,9 +103,23 @@ class GreedyCycleSimulator:
         """Simulated cycles per kernel iteration (total / iterations)."""
         return self.simulate(kernel).total_cycles / self.iterations
 
+    def measure_batch(self, kernels: List[Microkernel]) -> List[float]:
+        """IPC of every kernel, in input order (bitwise equal to :meth:`ipc`)."""
+        return [self.ipc(kernel) for kernel in kernels]
+
     @property
     def measurement_count(self) -> int:
         return len(self._cache)
+
+    def fingerprint(self) -> str:
+        """Content hash for persistent caching (machine + horizon)."""
+        from repro.measure.fingerprint import combine_fingerprint, machine_fingerprint
+
+        return combine_fingerprint(
+            type(self).__name__,
+            machine_fingerprint(self.machine),
+            self.iterations,
+        )
 
     # ------------------------------------------------------------------
     def _instruction_stream(self, kernel: Microkernel) -> List[Instruction]:

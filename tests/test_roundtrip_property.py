@@ -1,0 +1,241 @@
+"""Property-based round-trip tests of the full PALMED pipeline.
+
+Two generators feed the pipeline with randomly drawn ground truths:
+
+* random **conjunctive resource mappings** over the toy machine's
+  instructions, served through a minimal oracle backend (the pipeline sees
+  nothing but IPC numbers, exactly as on hardware);
+* random **disjunctive port machines** (random µOP decompositions over 2-4
+  ports plus a front-end), measured through the standard
+  :class:`PortModelBackend` — the paper's actual setting.
+
+The asserted properties are calibrated to what the algorithm guarantees on
+exact, noiseless measurements with the fast test configuration:
+
+* every benchmarkable instruction ends up mapped;
+* single-instruction throughputs are recovered essentially exactly for
+  conjunctive oracles (they are directly measured and pinned by LP2 /
+  LPAUX);
+* predictions on the quadratic pair kernels and on random kernels stay
+  within a bounded ratio band of the oracle.  The band is not tight (the
+  capped fast configuration under-spans resources, and equivalence-class
+  clustering can merge instructions whose interactions then go
+  unbenchmarked — the same regime as the paper's larger Zen1 errors), but
+  it is far below the trivial failure modes (unmapped instructions,
+  near-infinite throughputs, degenerate one-resource mappings) this suite
+  exists to catch.
+
+Runs are deterministic: ``derandomize=True`` makes Hypothesis draw the same
+examples on every invocation, so CI cannot flake on an unlucky ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro import Machine, Microkernel, PortModelBackend, build_toy_machine  # noqa: E402
+from repro.isa.instruction import Extension, Instruction, InstructionKind  # noqa: E402
+from repro.mapping.conjunctive import ConjunctiveResourceMapping  # noqa: E402
+from repro.mapping.disjunctive import DisjunctivePortMapping, MicroOp  # noqa: E402
+from repro.palmed import Palmed, PalmedConfig  # noqa: E402
+
+TOY_INSTRUCTIONS = list(build_toy_machine().benchmarkable_instructions())
+
+#: Fast pipeline configuration used by every property (exact LP2 on these
+#: small problems, one LP1 round).
+PROPERTY_CONFIG = PalmedConfig(
+    n_basic_cap=8,
+    max_resources=8,
+    lp1_max_iterations=1,
+    lp1_time_limit=10.0,
+    lp2_mode="exact",
+    milp_time_limit=20.0,
+)
+
+#: Calibrated predicted/oracle ratio bands (see module docstring).
+PAIR_RATIO_BAND = (0.45, 2.25)
+RANDOM_KERNEL_RATIO_BAND = (0.45, 2.25)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class OracleBackend:
+    """A measurement backend backed directly by a known conjunctive mapping.
+
+    The minimal protocol surface: deterministic cycles/IPC, batch
+    measurement, and a distinct-benchmark counter.  It deliberately does
+    *not* expose a ``fingerprint`` — persistent caching silently degrades
+    to uncached operation, which this suite implicitly exercises.
+    """
+
+    def __init__(self, mapping: ConjunctiveResourceMapping) -> None:
+        self.mapping = mapping
+        self._cache = {}
+
+    def cycles(self, kernel: Microkernel) -> float:
+        if kernel not in self._cache:
+            self._cache[kernel] = self.mapping.cycles(kernel)
+        return self._cache[kernel]
+
+    def ipc(self, kernel: Microkernel) -> float:
+        return kernel.size / self.cycles(kernel)
+
+    def measure_batch(self, kernels):
+        return [self.ipc(kernel) for kernel in kernels]
+
+    @property
+    def measurement_count(self) -> int:
+        return len(self._cache)
+
+
+# -- strategies ------------------------------------------------------------
+@st.composite
+def conjunctive_oracles(draw):
+    """A random conjunctive ground-truth mapping over the toy instructions."""
+    n_resources = draw(st.integers(2, 4))
+    resources = {f"R{r}": 1.0 for r in range(n_resources)}
+    names = sorted(resources)
+    usage = {}
+    for instruction in TOY_INSTRUCTIONS:
+        uses = {}
+        for resource in names:
+            if draw(st.booleans()):
+                uses[resource] = draw(st.sampled_from([0.25, 0.5, 1.0]))
+        if not uses:
+            uses[draw(st.sampled_from(names))] = draw(st.sampled_from([0.5, 1.0]))
+        usage[instruction] = uses
+    return ConjunctiveResourceMapping(resources, usage)
+
+
+@st.composite
+def port_machines(draw):
+    """A random ground-truth port machine (µOP decompositions + front-end)."""
+    n_ports = draw(st.integers(2, 4))
+    ports = [f"p{i}" for i in range(n_ports)]
+    n_instructions = draw(st.integers(4, 7))
+    mapping = {}
+    for index in range(n_instructions):
+        instruction = Instruction(f"I{index}", InstructionKind.INT_ALU, Extension.BASE)
+        n_uops = draw(st.integers(1, 2))
+        uops = []
+        for _ in range(n_uops):
+            admissible = draw(
+                st.sets(st.sampled_from(ports), min_size=1, max_size=n_ports)
+            )
+            uops.append(MicroOp(frozenset(admissible)))
+        mapping[instruction] = tuple(uops)
+    front_end = draw(st.sampled_from([2.0, 3.0, 4.0]))
+    return Machine(
+        name="property-machine",
+        port_mapping=DisjunctivePortMapping(ports, mapping),
+        front_end_width=front_end,
+    )
+
+
+def _random_kernels(draw_ints, instructions, count=12):
+    """Kernels derived from a flat integer seed list (keeps shrinking sane)."""
+    kernels = []
+    for index in range(count):
+        picks = {}
+        for offset in range(1 + draw_ints[index] % 3):
+            instruction = instructions[(draw_ints[index] + 7 * offset) % len(instructions)]
+            picks[instruction] = 1 + (draw_ints[index] // (offset + 1)) % 4
+        kernels.append(Microkernel(picks))
+    return kernels
+
+
+def _check_ratio(predicted: float, oracle: float, band, label: str) -> None:
+    assert oracle > 0 and math.isfinite(predicted), label
+    ratio = predicted / oracle
+    assert band[0] <= ratio <= band[1], f"{label}: predicted/oracle = {ratio:.3f}"
+
+
+# -- properties ------------------------------------------------------------
+class TestConjunctiveOracleRoundTrip:
+    @PROPERTY_SETTINGS
+    @given(oracle=conjunctive_oracles(), seeds=st.lists(st.integers(0, 10_000),
+                                                        min_size=12, max_size=12))
+    def test_pipeline_recovers_oracle_throughputs(self, oracle, seeds):
+        backend = OracleBackend(oracle)
+        result = Palmed(backend, TOY_INSTRUCTIONS, PROPERTY_CONFIG,
+                        machine_name="conjunctive-oracle").run()
+
+        # Every instruction of the ground truth is benchmarkable and mapped.
+        mapped = [inst for inst in TOY_INSTRUCTIONS if result.supports(inst)]
+        assert mapped == TOY_INSTRUCTIONS
+
+        # Single-instruction throughputs are directly measured: recovered
+        # essentially exactly.
+        for instruction in mapped:
+            kernel = Microkernel.single(instruction, 2)
+            assert result.predict_ipc(kernel) == pytest.approx(
+                oracle.ipc(kernel), rel=0.02
+            ), instruction.name
+
+        # Quadratic pair kernels (the shapes the pipeline measured) stay in
+        # the calibrated band.
+        for i, a in enumerate(mapped):
+            for b in mapped[i + 1 :]:
+                kernel = Microkernel(
+                    {
+                        a: oracle.ipc(Microkernel.single(a)),
+                        b: oracle.ipc(Microkernel.single(b)),
+                    }
+                )
+                _check_ratio(
+                    result.predict_ipc(kernel),
+                    oracle.ipc(kernel),
+                    PAIR_RATIO_BAND,
+                    f"pair {kernel.notation()}",
+                )
+
+        # Arbitrary random kernels never get degenerate predictions.
+        for kernel in _random_kernels(seeds, mapped):
+            _check_ratio(
+                result.predict_ipc(kernel),
+                oracle.ipc(kernel),
+                RANDOM_KERNEL_RATIO_BAND,
+                f"kernel {kernel.notation()}",
+            )
+
+
+class TestPortMachineRoundTrip:
+    @PROPERTY_SETTINGS
+    @given(machine=port_machines(), seeds=st.lists(st.integers(0, 10_000),
+                                                   min_size=12, max_size=12))
+    def test_pipeline_recovers_port_model_throughputs(self, machine, seeds):
+        backend = PortModelBackend(machine)
+        result = Palmed(backend, machine.benchmarkable_instructions(),
+                        PROPERTY_CONFIG).run()
+
+        instructions = list(machine.benchmarkable_instructions())
+        mapped = [inst for inst in instructions if result.supports(inst)]
+        assert mapped == instructions
+
+        for instruction in mapped:
+            kernel = Microkernel.single(instruction, 3)
+            _check_ratio(
+                result.predict_ipc(kernel),
+                machine.true_ipc(kernel),
+                PAIR_RATIO_BAND,
+                f"single {instruction.name}",
+            )
+
+        for kernel in _random_kernels(seeds, mapped):
+            _check_ratio(
+                result.predict_ipc(kernel),
+                machine.true_ipc(kernel),
+                RANDOM_KERNEL_RATIO_BAND,
+                f"kernel {kernel.notation()}",
+            )
