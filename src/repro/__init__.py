@@ -46,6 +46,7 @@ from repro.measure import (
     MeasurementCache,
     ParallelDispatcher,
 )
+from repro.runtime import ParallelRuntime
 from repro.simulator import (
     GreedyCycleSimulator,
     LpReferenceBackend,
@@ -70,6 +71,7 @@ __all__ = [
     "MeasurementNoise",
     "MicroOp",
     "ParallelDispatcher",
+    "ParallelRuntime",
     "Microkernel",
     "Palmed",
     "PalmedConfig",

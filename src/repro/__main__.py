@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs the full PALMED pipeline on one of the bundled ground-truth machines
+and prints the Table II statistics, so the pipeline has a runnable surface
+beyond the ``examples/`` scripts.  The flags expose the systems knobs of
+the reproduction: measurement parallelism, LP parallelism, the persistent
+measurement cache and machine-readable JSON output.
+
+Examples
+--------
+Characterize the toy machine::
+
+    python -m repro --machine toy
+
+A Skylake-like machine with a 48-instruction ISA, 4 measurement workers,
+4 LP workers and a persistent cache, dumping stats as JSON::
+
+    python -m repro --machine skl --isa-size 48 --parallelism 4 \\
+        --lp-parallelism 4 --cache measurements.json --json stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro import PortModelBackend, build_machine
+from repro.machines import available_machines
+from repro.palmed import Palmed, PalmedConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the PALMED pipeline on a bundled machine model.",
+    )
+    parser.add_argument(
+        "--machine",
+        default="toy",
+        choices=sorted(available_machines()),
+        help="ground-truth machine model to characterize (default: toy)",
+    )
+    parser.add_argument(
+        "--isa-size",
+        type=int,
+        default=48,
+        help="synthetic ISA size for the non-toy machines (default: 48)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="ISA generation seed (default: 0)"
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=0,
+        help="measurement worker processes (0 = in-process, the default)",
+    )
+    parser.add_argument(
+        "--lp-parallelism",
+        type=int,
+        default=0,
+        help="LPAUX solver worker processes (0 = in-process, the default)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="persistent measurement-cache file (default: no persistence)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the run statistics as JSON to this file ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the cheap test configuration (smaller LPs, tighter caps)",
+    )
+    parser.add_argument(
+        "--show-mapping",
+        action="store_true",
+        help="also print the inferred instruction -> resource usage table",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    config = PalmedConfig().for_fast_tests() if args.fast else PalmedConfig()
+    config = dataclasses.replace(
+        config,
+        parallelism=args.parallelism,
+        lp_parallelism=args.lp_parallelism,
+        cache_path=args.cache,
+    )
+
+    machine = build_machine(
+        args.machine, n_instructions=args.isa_size, seed=args.seed
+    )
+    backend = PortModelBackend(machine)
+    palmed = Palmed(backend, machine.benchmarkable_instructions(), config)
+    result = palmed.run()
+
+    print(result.stats.format_table())
+    if args.show_mapping:
+        print()
+        print(result.mapping.table())
+
+    if args.json is not None:
+        payload = {
+            "stats": dataclasses.asdict(result.stats),
+            "config": dataclasses.asdict(config),
+            "mapping": result.mapping.to_dict(),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

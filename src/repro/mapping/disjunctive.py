@@ -11,16 +11,35 @@ requires choosing, for each µOP instance, a distribution over its compatible
 ports that minimizes the maximum port load — a small linear program
 (the "flow problem" of Sec. III.B).  This is exactly the computation PALMED's
 conjunctive dual replaces by a closed formula.
+
+The flow LP's *structure* depends only on the kernel's instruction set (which
+µOPs exist, which ports they may use); the multiplicities are pure right-hand
+side data.  Each mapping therefore keeps a cache of compiled
+:class:`repro.solvers.ModelTemplate` structures keyed by instruction set —
+benchmark families like the quadratic ``a^x b^y`` kernels (three multiplicity
+variants per pair) rebind the RHS instead of rebuilding the LP.
 """
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
-from repro.solvers import Model, lin_sum
+from repro.solvers import ModelBuilder, ModelTemplate
+
+
+@dataclass
+class _FlowTemplate:
+    """Compiled flow LP for one kernel instruction set (multiplicities = RHS)."""
+
+    template: ModelTemplate
+    t_col: int
+    share_cols: Dict[Tuple[Instruction, int, str], int]
+    uop_rows: List[Tuple[Instruction, int, int]]
 
 
 @dataclass(frozen=True)
@@ -80,6 +99,15 @@ class DisjunctivePortMapping:
                     )
             normalized[instruction] = uops
         self._mapping = normalized
+        #: Compiled flow-LP structures keyed by kernel instruction set, LRU
+        #: bounded: benchmark families reuse a set in tight succession (the
+        #: three multiplicity variants of each quadratic pair, the
+        #: saturating benchmarks of one instruction), so a small cache
+        #: captures the reuse without retaining O(n^2) templates for the
+        #: lifetime of the mapping.
+        self._templates: "OrderedDict[Tuple[Instruction, ...], _FlowTemplate]" = (
+            OrderedDict()
+        )
 
     # -- accessors ----------------------------------------------------------
     @property
@@ -147,33 +175,74 @@ class DisjunctivePortMapping:
             if instruction not in self._mapping:
                 raise KeyError(f"instruction {instruction} not in the port mapping")
 
-        model = Model("disjunctive-throughput")
-        t_var = model.add_variable("t", lb=0.0)
-        port_loads: Dict[str, list] = {port: [] for port in self._ports}
-        variables: Dict[Tuple[Instruction, int, str], object] = {}
-
-        for instruction, multiplicity in kernel.items():
-            for uop_index, uop in enumerate(self._mapping[instruction]):
-                shares = []
-                for port in sorted(uop.ports):
-                    var = model.add_variable(
-                        f"x[{instruction.name},{uop_index},{port}]", lb=0.0
-                    )
-                    variables[(instruction, uop_index, port)] = var
-                    shares.append(var)
-                    port_loads[port].append(var * uop.occupancy)
-                model.add_equality(lin_sum(shares), multiplicity)
-
-        for port in self._ports:
-            if port_loads[port]:
-                model.add_constraint(lin_sum(port_loads[port]) <= t_var)
-        model.minimize(t_var)
-        solution = model.solve()
+        structure = self._template_for(kernel.instructions)
+        for (instruction, _, row) in structure.uop_rows:
+            multiplicity = kernel.multiplicity(instruction)
+            structure.template.set_row_bounds(row, multiplicity, multiplicity)
+        solution = structure.template.solve()
 
         assignment = {
-            key: solution[var] for key, var in variables.items() if solution[var] > 1e-12
+            key: float(solution.x[col])
+            for key, col in structure.share_cols.items()
+            if solution.x[col] > 1e-12
         }
-        return assignment, float(solution[t_var])
+        return assignment, float(solution.x[structure.t_col])
+
+    #: Maximum number of compiled flow LPs retained per mapping.
+    _TEMPLATE_CACHE_SIZE = 256
+
+    def _template_for(self, instructions: Tuple[Instruction, ...]) -> "_FlowTemplate":
+        """The compiled flow LP for a kernel's instruction set (LRU cached)."""
+        structure = self._templates.get(instructions)
+        if structure is not None:
+            self._templates.move_to_end(instructions)
+        else:
+            builder = ModelBuilder("disjunctive-throughput")
+            t_col = builder.add_variable(0.0, math.inf)
+            port_loads: Dict[str, List[Tuple[int, float]]] = {
+                port: [] for port in self._ports
+            }
+            share_cols: Dict[Tuple[Instruction, int, str], int] = {}
+            uop_rows: List[Tuple[Instruction, int, int]] = []
+
+            for instruction in instructions:
+                for uop_index, uop in enumerate(self._mapping[instruction]):
+                    shares = []
+                    for port in sorted(uop.ports):
+                        col = builder.add_variable(0.0, math.inf)
+                        share_cols[(instruction, uop_index, port)] = col
+                        shares.append(col)
+                        port_loads[port].append((col, uop.occupancy))
+                    # Conservation: every µOP instance is routed somewhere;
+                    # the multiplicity RHS is bound per kernel.
+                    uop_rows.append(
+                        (
+                            instruction,
+                            uop_index,
+                            builder.add_row_entries(
+                                shares, [1.0] * len(shares), lo=0.0, hi=0.0
+                            ),
+                        )
+                    )
+
+            for port in self._ports:
+                if port_loads[port]:
+                    row = builder.add_row(hi=0.0)
+                    for col, occupancy in port_loads[port]:
+                        builder.add_entry(row, col, occupancy)
+                    builder.add_entry(row, t_col, -1.0)
+            builder.set_objective({t_col: 1.0}, maximize=False)
+
+            structure = _FlowTemplate(
+                template=builder.build(),
+                t_col=t_col,
+                share_cols=share_cols,
+                uop_rows=uop_rows,
+            )
+            self._templates[instructions] = structure
+            if len(self._templates) > self._TEMPLATE_CACHE_SIZE:
+                self._templates.popitem(last=False)
+        return structure
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,24 +1,26 @@
 """Batched, parallel, cached microbenchmark measurement.
 
-This package is the systems layer between the PALMED pipeline and a
-:class:`~repro.simulator.MeasurementBackend`.  The pipeline's benchmark
-demand is batched (``measure_batch``), fanned out over worker processes
-(:class:`ParallelDispatcher`) and memoized across runs
+This package is the measurement client of the shared execution substrate:
+the PALMED pipeline's benchmark demand is batched (``measure_batch``),
+fanned out over worker processes and memoized across runs
 (:class:`MeasurementCache`), while preserving the exact values — and thus
 the exact inferred mapping — of the sequential scalar path:
 
 * :class:`MeasurementCache` — content-keyed in-memory + on-disk JSON store;
   keys combine a kernel fingerprint with a backend fingerprint (machine
   model, noise parameters), so model or seed changes invalidate cleanly.
-* :class:`ParallelDispatcher` — process-pool fan-out over benchmark chunks
-  with deterministic, input-order reassembly; ``workers <= 1`` degrades to
-  a plain in-process loop.
+* :class:`ParallelDispatcher` — a thin measurement-specific client of
+  :class:`repro.runtime.ParallelRuntime` (the chunked process-pool fan-out
+  also used by the LPAUX solver phase), adding only the backend semantics;
+  ``workers <= 1`` degrades to a plain in-process loop.
 * :mod:`repro.measure.fingerprint` — canonical kernel keys and machine /
   backend content hashes.
 
-See the README's "Batched measurement, parallelism and caching" section for
-usage, and ``tests/test_measure_parallel.py`` for the differential
-guarantees.
+Measurement is *not* the only parallel path anymore: the per-instruction
+LPAUX weight solves fan out over the very same runtime (see
+``PalmedConfig.lp_parallelism`` and :mod:`repro.palmed.complete_mapping`).
+See the README's "Shared parallel runtime" section for the layering, and
+``tests/test_measure_parallel.py`` for the differential guarantees.
 """
 
 from repro.measure.cache import MeasurementCache

@@ -3,11 +3,19 @@
 On real hardware, microbenchmarks for one machine can be distributed over
 identical cores (or identical machines) because every measurement is
 independent; the paper's quadratic benchmarking stage is embarrassingly
-parallel.  :class:`ParallelDispatcher` reproduces that execution model: a
-batch of kernels is split into contiguous chunks, the chunks are measured by
-a pool of worker processes (each holding its own copy of the backend), and
-the results are reassembled **in input order**, so the caller observes
-exactly the sequence of values a sequential run would have produced.
+parallel.  :class:`ParallelDispatcher` reproduces that execution model as a
+thin measurement-specific client of the shared
+:class:`repro.runtime.ParallelRuntime` substrate: a batch of kernels is
+split into contiguous chunks, the chunks are measured by a pool of worker
+processes (each holding its own copy of the backend), and the results are
+reassembled **in input order**, so the caller observes exactly the sequence
+of values a sequential run would have produced.
+
+All chunking, pooling, ordering and sequential-fallback behaviour lives in
+:mod:`repro.runtime` — the same substrate the solver layer uses to fan out
+the per-instruction LPAUX problems — and this module only contributes the
+measurement semantics: how a chunk of kernels is turned into IPC values on
+a backend, and which backend errors mean "unmeasurable kernel".
 
 Determinism contract
 --------------------
@@ -20,31 +28,10 @@ that every worker count yields identical results.
 
 from __future__ import annotations
 
-import math
-import pickle
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.mapping.microkernel import Microkernel
-
-#: Failures that mean "this backend/environment cannot do process pools":
-#: pool setup errors (no fork/semaphores, dead workers) and pickling
-#: failures of ad-hoc backend objects.  Deliberately narrow — an exception
-#: raised by the backend's own measurement code inside a worker re-raises
-#: in the parent with its original type and must propagate, exactly as it
-#: would on the sequential path.
-_POOL_ERRORS = (OSError, BrokenProcessPool, pickle.PicklingError)
-
-#: Per-process backend set once by the pool initializer, so the (potentially
-#: large) machine model is pickled once per worker instead of once per chunk.
-_WORKER_BACKEND = None
-
-
-def _initialize_worker(backend) -> None:
-    global _WORKER_BACKEND
-    _WORKER_BACKEND = backend
+from repro.runtime import ParallelRuntime
 
 
 def _backend_measure(backend, kernels: Sequence[Microkernel]) -> List[float]:
@@ -63,48 +50,21 @@ def _safe_ipc(backend, kernel: Microkernel) -> Optional[float]:
         return None
 
 
-def _measure_chunk(payload: Tuple[int, List[Microkernel]]) -> Tuple[int, List[float]]:
-    index, kernels = payload
-    return index, _backend_measure(_WORKER_BACKEND, kernels)
-
-
 def _measure_chunk_safe(
-    payload: Tuple[int, List[Microkernel]],
-) -> Tuple[int, List[Optional[float]]]:
-    index, kernels = payload
-    return index, [_safe_ipc(_WORKER_BACKEND, kernel) for kernel in kernels]
+    backend, kernels: List[Microkernel]
+) -> List[Optional[float]]:
+    return [_safe_ipc(backend, kernel) for kernel in kernels]
 
 
-class ParallelDispatcher:
+class ParallelDispatcher(ParallelRuntime):
     """Deterministically-ordered (optionally parallel) batch measurement.
 
-    Parameters
-    ----------
-    workers:
-        Number of worker processes.  ``0`` or ``1`` measures in-process
-        (no pool, no pickling); ``N > 1`` fans chunks out to ``N`` processes.
-    chunk_size:
-        Kernels per work unit.  Defaults to splitting the batch into about
-        four chunks per worker, which balances load without drowning the
-        pool in tiny tasks.
-
-    Notes
-    -----
-    Each call builds (and tears down) its own process pool: measurement
-    batches in this codebase are large and latency-dominated, so pool
-    startup is noise, and per-call pools keep worker processes from
-    outliving the measurement they serve.  On spawn-based platforms with
-    many small batches a persistent pool would amortize better; revisit if
-    that ever becomes the profile.
+    A measurement-flavoured :class:`repro.runtime.ParallelRuntime`: the
+    ``workers``/``chunk_size`` parameters, the chunking policy and the
+    sequential degradation are inherited from the shared runtime, and the
+    backend plays the role of the per-worker context (pickled once per
+    worker process, not once per chunk).
     """
-
-    def __init__(self, workers: int = 0, chunk_size: Optional[int] = None) -> None:
-        if workers < 0:
-            raise ValueError("workers must be non-negative")
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
-        self.workers = workers
-        self.chunk_size = chunk_size
 
     # -- public API ----------------------------------------------------------
     def measure(self, backend, kernels: Sequence[Microkernel]) -> List[float]:
@@ -113,12 +73,7 @@ class ParallelDispatcher:
         Exceptions raised by the backend (e.g. an unknown instruction)
         propagate to the caller, as in the sequential path.
         """
-        kernels = list(kernels)
-        if not kernels:
-            return []
-        if self.workers <= 1:
-            return _backend_measure(backend, kernels)
-        return self._fan_out(backend, kernels, _measure_chunk)
+        return self.run(_backend_measure, list(kernels), context=backend)
 
     def measure_safe(
         self, backend, kernels: Sequence[Microkernel]
@@ -129,52 +84,7 @@ class ParallelDispatcher:
         converted to ``None``, mirroring the evaluation harness's historical
         skip semantics; other errors propagate.
         """
-        kernels = list(kernels)
-        if not kernels:
-            return []
-        if self.workers <= 1:
-            return [_safe_ipc(backend, kernel) for kernel in kernels]
-        return self._fan_out(backend, kernels, _measure_chunk_safe)
-
-    # -- internals -----------------------------------------------------------
-    def _chunks(self, kernels: List[Microkernel]) -> List[Tuple[int, List[Microkernel]]]:
-        size = self.chunk_size
-        if size is None:
-            size = max(1, math.ceil(len(kernels) / (4 * self.workers)))
-        return [
-            (start, kernels[start : start + size])
-            for start in range(0, len(kernels), size)
-        ]
-
-    def _fan_out(
-        self,
-        backend,
-        kernels: List[Microkernel],
-        worker: Callable,
-    ) -> List:
-        chunks = self._chunks(kernels)
-        results: List = [None] * len(kernels)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunks)),
-                initializer=_initialize_worker,
-                initargs=(backend,),
-            ) as pool:
-                for start, values in pool.map(worker, chunks):
-                    results[start : start + len(values)] = values
-        except _POOL_ERRORS as error:
-            # Environments without working process pools (restricted
-            # sandboxes, unpicklable ad-hoc backends) degrade to the
-            # sequential path rather than failing the measurement.
-            warnings.warn(
-                f"parallel measurement unavailable ({error!r}); "
-                "falling back to sequential execution",
-                stacklevel=3,
-            )
-            if worker is _measure_chunk:
-                return _backend_measure(backend, kernels)
-            return [_safe_ipc(backend, kernel) for kernel in kernels]
-        return results
+        return self.run(_measure_chunk_safe, list(kernels), context=backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelDispatcher(workers={self.workers}, chunk_size={self.chunk_size})"

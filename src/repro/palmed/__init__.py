@@ -23,13 +23,18 @@ from repro.palmed.benchmarks import BenchmarkRunner, quantize_kernel
 from repro.palmed.quadratic import QuadraticBenchmarks
 from repro.palmed.basic_selection import BasicSelectionResult, select_basic_instructions
 from repro.palmed.core_mapping import CoreMappingResult, compute_core_mapping
-from repro.palmed.complete_mapping import complete_mapping
+from repro.palmed.complete_mapping import (
+    CompleteMappingOutcome,
+    complete_mapping,
+    run_complete_mapping,
+)
 from repro.palmed.result import PalmedResult, PalmedStats
 from repro.palmed.pipeline import Palmed
 
 __all__ = [
     "BasicSelectionResult",
     "BenchmarkRunner",
+    "CompleteMappingOutcome",
     "CoreMappingResult",
     "Palmed",
     "PalmedConfig",
@@ -39,5 +44,6 @@ __all__ = [
     "complete_mapping",
     "compute_core_mapping",
     "quantize_kernel",
+    "run_complete_mapping",
     "select_basic_instructions",
 ]

@@ -83,6 +83,12 @@ class PalmedConfig:
         every measurement in-process (the seed behaviour); larger values fan
         benchmark batches out over a process pool.  The inferred mapping is
         identical for every setting (see ``tests/test_measure_parallel.py``).
+    lp_parallelism:
+        Number of worker processes used to fan the independent
+        per-instruction LPAUX weight problems of the complete-mapping phase
+        over the shared :class:`repro.runtime.ParallelRuntime`.  ``0`` or
+        ``1`` solves them in-process.  The inferred mapping is bitwise
+        identical for every setting (see ``tests/test_lp_parallel.py``).
     cache_path:
         Optional path of the persistent on-disk measurement cache
         (:class:`repro.measure.MeasurementCache`).  ``None`` disables
@@ -111,11 +117,14 @@ class PalmedConfig:
     edge_threshold: float = 1e-3
     milp_time_limit: float = 120.0
     parallelism: int = 0
+    lp_parallelism: int = 0
     cache_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 0:
             raise ValueError("parallelism must be non-negative")
+        if self.lp_parallelism < 0:
+            raise ValueError("lp_parallelism must be non-negative")
         if self.n_basic is not None and self.n_basic < 2:
             raise ValueError("n_basic must be at least 2 (or None for automatic sizing)")
         if self.n_basic_cap < 2:

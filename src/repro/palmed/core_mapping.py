@@ -30,6 +30,7 @@ from repro.palmed.lp2_weights import (
     kernel_resource_usage,
     solve_weights,
 )
+from repro.solvers import SolveStats, record_stats, use_stats
 
 
 def resource_label(index: int) -> str:
@@ -47,6 +48,8 @@ class CoreMappingResult:
     saturating_kernels: Dict[int, Microkernel]
     lp1_iterations: int
     lp_time: float = 0.0
+    #: Solver-layer accounting of the LP1/LP2 solves of this stage.
+    solver_stats: SolveStats = field(default_factory=SolveStats)
     _mapping: Optional[ConjunctiveResourceMapping] = field(default=None, repr=False)
 
     @property
@@ -184,11 +187,13 @@ def compute_core_mapping(
     known_kernels = {obs.kernel for obs in observations}
 
     lp_time = 0.0
+    stats = SolveStats()
     shape: Optional[ShapeMapping] = None
     iterations = 0
     for iterations in range(1, config.lp1_max_iterations + 1):
         start = time.monotonic()
-        shape = solve_shape(observations, selection, single_ipc, config)
+        with use_stats(stats):
+            shape = solve_shape(observations, selection, single_ipc, config)
         lp_time += time.monotonic() - start
         new_kernels = [
             kernel
@@ -211,8 +216,12 @@ def compute_core_mapping(
         rho_upper_bound=1.0,
     )
     start = time.monotonic()
-    weights = solve_weights(problem, config)
+    with use_stats(stats):
+        weights = solve_weights(problem, config)
     lp_time += time.monotonic() - start
+    # Re-inject the locally-attributed records so process-global solver
+    # statistics stay complete.
+    record_stats(stats)
 
     saturating = _select_saturating_kernels(
         weights.rho, observations, shape, single_ipc, runner, config.epsilon
@@ -224,4 +233,5 @@ def compute_core_mapping(
         saturating_kernels=saturating,
         lp1_iterations=iterations,
         lp_time=lp_time,
+        solver_stats=stats,
     )

@@ -20,18 +20,23 @@ computed.  It is an integer linear program over binary usage indicators
 "Exists a resource such that …" constraints are encoded with auxiliary
 binary selector variables and big-M implications (the big-M is always the
 number of terms involved, so the relaxation stays tight).
+
+The ILP is assembled through the sparse :class:`repro.solvers.ModelBuilder`
+(COO triplets, one compilation per solve) — the shape problem is solved a
+handful of times per run, but it is by far the *largest* model in the
+pipeline and profits most from skipping per-expression dict merging.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
 from repro.palmed.basic_selection import BasicSelectionResult
 from repro.palmed.config import PalmedConfig
-from repro.solvers import Model, lin_sum
+from repro.solvers import ModelBuilder
 
 
 @dataclass(frozen=True)
@@ -107,13 +112,17 @@ def solve_shape(
     num_resources = config.max_resources
     resources = range(num_resources)
 
-    model = Model("lp1-shape")
+    builder = ModelBuilder("lp1-shape")
     rho = {
-        (inst, r): model.add_binary(f"rho[{inst.name},{r}]")
+        (inst, r): builder.add_binary()
         for inst in basic
         for r in resources
     }
-    used = {r: model.add_binary(f"used[{r}]") for r in resources}
+    used = {r: builder.add_binary() for r in resources}
+
+    def add_exists(selectors: Sequence[int]) -> None:
+        """Require at least one of the binary selector columns to be 1."""
+        builder.add_row_entries(selectors, [1.0] * len(selectors), lo=1.0)
 
     # A resource is "used" as soon as any instruction maps to it; symmetry is
     # broken by forcing used resources to occupy the lowest indices and by
@@ -122,16 +131,17 @@ def solve_shape(
     # factorial blow-up of permuting identical resources.
     for r in resources:
         for inst in basic:
-            model.add_constraint(rho[(inst, r)] - used[r] <= 0.0)
+            builder.add_row_entries([rho[(inst, r)], used[r]], [1.0, -1.0], hi=0.0)
     for r in range(num_resources - 1):
-        model.add_constraint(used[r + 1] - used[r] <= 0.0)
-        left = lin_sum(rho[(inst, r)] * float(2 ** i) for i, inst in enumerate(basic))
-        right = lin_sum(rho[(inst, r + 1)] * float(2 ** i) for i, inst in enumerate(basic))
-        model.add_constraint(right - left <= 0.0)
+        builder.add_row_entries([used[r + 1], used[r]], [1.0, -1.0], hi=0.0)
+        row = builder.add_row(hi=0.0)
+        for i, inst in enumerate(basic):
+            builder.add_entry(row, rho[(inst, r + 1)], float(2 ** i))
+            builder.add_entry(row, rho[(inst, r)], -float(2 ** i))
 
     # Every basic instruction uses at least one resource.
     for inst in basic:
-        model.add_constraint(lin_sum(rho[(inst, r)] for r in resources) >= 1.0)
+        add_exists([rho[(inst, r)] for r in resources])
 
     # Very basic instructions: at least one resource unused by the other
     # very basic instructions (Algorithm 3, line 4).
@@ -139,12 +149,12 @@ def solve_shape(
         others = [other for other in very_basic if other != inst]
         selectors = []
         for r in resources:
-            selector = model.add_binary(f"vb[{inst.name},{r}]")
+            selector = builder.add_binary()
             selectors.append(selector)
-            model.add_constraint(selector - rho[(inst, r)] <= 0.0)
+            builder.add_row_entries([selector, rho[(inst, r)]], [1.0, -1.0], hi=0.0)
             for other in others:
-                model.add_constraint(selector + rho[(other, r)] <= 1.0)
-        model.add_exists(selectors)
+                builder.add_row_entries([selector, rho[(other, r)]], [1.0, 1.0], hi=1.0)
+        add_exists(selectors)
 
     # Greedy instructions: at least one resource shared with every
     # non-disjoint basic instruction (Algorithm 3, line 5).
@@ -157,15 +167,17 @@ def solve_shape(
             continue
         selectors = []
         for r in resources:
-            selector = model.add_binary(f"gr[{inst.name},{r}]")
+            selector = builder.add_binary()
             selectors.append(selector)
-            model.add_constraint(selector - rho[(inst, r)] <= 0.0)
+            builder.add_row_entries([selector, rho[(inst, r)]], [1.0, -1.0], hi=0.0)
             for other in partners:
-                model.add_constraint(selector - rho[(other, r)] <= 0.0)
-        model.add_exists(selectors)
+                builder.add_row_entries(
+                    [selector, rho[(other, r)]], [1.0, -1.0], hi=0.0
+                )
+        add_exists(selectors)
 
     # Per-kernel constraints (Algorithm 3, lines 6-10).
-    for index, observation in enumerate(observations):
+    for observation in observations:
         kernel_instructions = [
             inst for inst in observation.kernel.instructions if inst in basic_set
         ]
@@ -183,38 +195,45 @@ def solve_shape(
                 others = [other for other in kernel_instructions if other != inst]
                 selectors = []
                 for r in resources:
-                    selector = model.add_binary(f"sat[{index},{inst.name},{r}]")
+                    selector = builder.add_binary()
                     selectors.append(selector)
-                    model.add_constraint(selector - rho[(inst, r)] <= 0.0)
+                    builder.add_row_entries(
+                        [selector, rho[(inst, r)]], [1.0, -1.0], hi=0.0
+                    )
                     for other in others:
-                        model.add_constraint(selector + rho[(other, r)] <= 1.0)
-                model.add_exists(selectors)
+                        builder.add_row_entries(
+                            [selector, rho[(other, r)]], [1.0, 1.0], hi=1.0
+                        )
+                add_exists(selectors)
         else:
             selectors = []
             for r in resources:
-                selector = model.add_binary(f"shared[{index},{r}]")
+                selector = builder.add_binary()
                 selectors.append(selector)
                 for inst in kernel_instructions:
-                    model.add_constraint(selector - rho[(inst, r)] <= 0.0)
-            model.add_exists(selectors)
+                    builder.add_row_entries(
+                        [selector, rho[(inst, r)]], [1.0, -1.0], hi=0.0
+                    )
+            add_exists(selectors)
 
     # Primary objective: number of resources; secondary: number of edges.
-    edge_count = lin_sum(rho.values())
-    resource_count = lin_sum(used.values())
-    big = len(basic) * num_resources + 1
-    model.minimize(resource_count * big + edge_count)
+    big = float(len(basic) * num_resources + 1)
+    objective = {col: 1.0 for col in rho.values()}
+    for col in used.values():
+        objective[col] = big
+    builder.set_objective(objective, maximize=False)
 
-    solution = model.solve(
+    solution = builder.build().solve(
         time_limit=config.lp1_time_limit, mip_rel_gap=config.lp1_mip_gap
     )
 
-    active_resources = [r for r in resources if solution[used[r]] > 0.5]
+    active_resources = [r for r in resources if solution.x[used[r]] > 0.5]
     renumber = {r: new_index for new_index, r in enumerate(active_resources)}
     edges: Dict[Instruction, Set[int]] = {
         inst: {
             renumber[r]
             for r in active_resources
-            if solution[rho[(inst, r)]] > 0.5
+            if solution.x[rho[(inst, r)]] > 0.5
         }
         for inst in basic
     }

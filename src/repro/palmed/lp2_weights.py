@@ -24,6 +24,19 @@ solvers are provided:
 The same routine serves LP2 (all basic-instruction weights free) and LPAUX
 (core weights frozen, a single instruction free, possibly unbounded above
 for low-IPC instructions), which only differ by their inputs.
+
+Sparse incremental construction
+-------------------------------
+Models are built through :class:`repro.solvers.ModelBuilder` (COO triplets,
+no per-expression dict merging) and compiled once per *structure* into a
+:class:`repro.solvers.ModelTemplate`: the sparsity pattern of a BWP depends
+only on which free instructions appear in which kernels and which edges are
+admissible, while every number in it — usage coefficients, frozen-core
+constants, capacity bounds, ρ upper bounds — is rebindable data.  The
+alternating heuristic therefore re-solves one template across its rounds,
+and :class:`WeightModelCache` lets LPAUX's thousands of identically-shaped
+per-instruction problems rebind data instead of rebuilding structure (see
+``model_builds`` vs ``solves`` in :func:`repro.solvers.solver_stats`).
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.isa.instruction import Instruction
 from repro.palmed.config import PalmedConfig
 from repro.palmed.lp1_shape import KernelObservation
-from repro.solvers import LinearExpression, Model, lin_sum
+from repro.solvers import ModelBuilder, ModelTemplate
 
 
 @dataclass
@@ -97,7 +110,11 @@ def kernel_resource_usage(
     return total * observation.ipc / observation.kernel.size
 
 
-def solve_weights(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+def solve_weights(
+    problem: WeightProblem,
+    config: PalmedConfig,
+    cache: Optional["WeightModelCache"] = None,
+) -> WeightSolution:
     """Solve the BWP with the solver selected by the configuration."""
     mode = config.lp2_mode
     if mode == "auto":
@@ -107,68 +124,272 @@ def solve_weights(problem: WeightProblem, config: PalmedConfig) -> WeightSolutio
             else "heuristic"
         )
     if mode == "exact":
-        return solve_weights_exact(problem, config)
-    return solve_weights_heuristic(problem, config)
+        return solve_weights_exact(problem, config, cache)
+    return solve_weights_heuristic(problem, config, cache)
 
 
 # ---------------------------------------------------------------------------
-# Shared model construction
+# Structure templates
 # ---------------------------------------------------------------------------
 
-def _build_base_model(
-    problem: WeightProblem, name: str
-) -> Tuple[Model, Dict[Tuple[Instruction, int], object], Dict[int, Dict[int, LinearExpression]]]:
-    """Create the model with ρ variables and the per-kernel usage expressions."""
-    model = Model(name)
-    upper = problem.rho_upper_bound
-    rho_vars: Dict[Tuple[Instruction, int], object] = {}
-    for instruction in sorted(problem.free_edges, key=lambda inst: inst.name):
-        for resource in sorted(problem.free_edges[instruction]):
-            rho_vars[(instruction, resource)] = model.add_variable(
-                f"rho[{instruction.name},{resource}]",
-                lb=0.0,
-                ub=math.inf if upper is None else upper,
-            )
+#: Tie-break weight pulling ρ towards sparse mappings (secondary objective).
+_RHO_PENALTY = 1e-4
 
-    usage: Dict[int, Dict[int, LinearExpression]] = {}
-    for index, observation in enumerate(problem.observations):
-        usage[index] = {}
-        scale = observation.ipc / observation.kernel.size
-        for resource in range(problem.num_resources):
-            expr = LinearExpression()
+
+def _free_order(problem: WeightProblem) -> List[Instruction]:
+    return sorted(problem.free_edges, key=lambda inst: inst.name)
+
+
+def _structure_signature(problem: WeightProblem, mode: str) -> tuple:
+    """Hashable key of everything that shapes the model (not its numbers).
+
+    Two problems with equal signatures compile to the same sparsity
+    pattern, variable kinds and row layout; all remaining differences
+    (usage coefficients, frozen constants, capacity and ρ bounds) are
+    rebindable data.
+    """
+    free = _free_order(problem)
+    edges = tuple(tuple(sorted(problem.free_edges[inst])) for inst in free)
+    present = tuple(
+        tuple(fi for fi, inst in enumerate(free) if inst in observation.kernel)
+        for observation in problem.observations
+    )
+    return (mode, problem.num_resources, edges, present)
+
+
+@dataclass
+class _BoundData:
+    """Per-observation numbers computed while binding a problem."""
+
+    #: ``fi -> multiplicity * ipc / |K|`` for free instructions present.
+    coefficients: List[Dict[int, float]]
+    #: Frozen-core contribution to ``ρ_{K,r}`` per (observation, resource).
+    constants: List[List[float]]
+
+
+class _BwpTemplate:
+    """Compiled BWP structure for one :func:`_structure_signature` family.
+
+    Holds the :class:`ModelTemplate` plus the handle maps needed to rebind
+    a concrete :class:`WeightProblem` (and, in heuristic mode, a concrete
+    argmax assignment) into it.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        num_resources: int,
+        edges: Tuple[Tuple[int, ...], ...],
+        present: Tuple[Tuple[int, ...], ...],
+    ) -> None:
+        self.mode = mode
+        self.num_resources = num_resources
+        self.edges = edges
+        self.present = present
+        num_obs = len(present)
+
+        builder = ModelBuilder(f"lp2-bwp-{mode}")
+        self.rho_cols: Dict[Tuple[int, int], int] = {}
+        for fi, resources in enumerate(edges):
+            for resource in resources:
+                self.rho_cols[(fi, resource)] = builder.add_variable(0.0, math.inf)
+        self.s_cols: List[int] = []
+        self.sel_cols: Dict[Tuple[int, int], int] = {}
+        for k in range(num_obs):
+            self.s_cols.append(builder.add_variable(0.0, 1.0))
+            if mode == "exact":
+                for resource in range(num_resources):
+                    self.sel_cols[(k, resource)] = builder.add_binary()
+
+        # Capacity rows: usage(k, r) <= bound, one per (observation, resource).
+        self.cap_rows: Dict[Tuple[int, int], int] = {}
+        self.cap_entries: Dict[Tuple[int, int, int], int] = {}
+        for k in range(num_obs):
+            for resource in range(num_resources):
+                row = builder.add_row(-math.inf, 1.0)
+                self.cap_rows[(k, resource)] = row
+                for fi in present[k]:
+                    if resource in edges[fi]:
+                        self.cap_entries[(k, resource, fi)] = builder.add_entry(
+                            row, self.rho_cols[(fi, resource)], 0.0
+                        )
+
+        self.sdef_rows: Dict[Tuple[int, int], int] = {}
+        self.sdef_entries: Dict[Tuple[int, int, int], int] = {}
+        self.s_rows: List[int] = []
+        self.s_entries: Dict[Tuple[int, int, int], int] = {}
+        if mode == "exact":
+            # S_K <= usage(k, r) + (1 - sel(k, r)): when resource r is
+            # selected, the saturation may not exceed its usage.
+            for k in range(num_obs):
+                for resource in range(num_resources):
+                    row = builder.add_row(-math.inf, 1.0)
+                    self.sdef_rows[(k, resource)] = row
+                    builder.add_entry(row, self.s_cols[k], 1.0)
+                    builder.add_entry(row, self.sel_cols[(k, resource)], 1.0)
+                    for fi in present[k]:
+                        if resource in edges[fi]:
+                            self.sdef_entries[(k, resource, fi)] = builder.add_entry(
+                                row, self.rho_cols[(fi, resource)], 0.0
+                            )
+                builder.add_row_entries(
+                    [self.sel_cols[(k, r)] for r in range(num_resources)],
+                    [1.0] * num_resources,
+                    lo=1.0,
+                )
+        else:
+            # S_K <= usage(k, assignment[k]); the pattern covers every
+            # resource an assignment could pick, the per-round bind zeroes
+            # the entries of the non-assigned resources.
+            for k in range(num_obs):
+                row = builder.add_row(-math.inf, 0.0)
+                self.s_rows.append(row)
+                builder.add_entry(row, self.s_cols[k], 1.0)
+                for fi in present[k]:
+                    for resource in edges[fi]:
+                        self.s_entries[(k, fi, resource)] = builder.add_entry(
+                            row, self.rho_cols[(fi, resource)], 0.0
+                        )
+
+        objective = {col: -_RHO_PENALTY for col in self.rho_cols.values()}
+        for s_col in self.s_cols:
+            objective[s_col] = 1.0
+        builder.set_objective(objective, maximize=True)
+        self.template: ModelTemplate = builder.build()
+
+    # -- binding -------------------------------------------------------------
+    def bind(self, problem: WeightProblem) -> _BoundData:
+        """Write a problem's data into the template (full rebind)."""
+        template = self.template
+        upper = (
+            math.inf if problem.rho_upper_bound is None else problem.rho_upper_bound
+        )
+        for col in self.rho_cols.values():
+            template.set_variable_bounds(col, 0.0, upper)
+
+        free = _free_order(problem)
+        free_index = {inst: fi for fi, inst in enumerate(free)}
+        num_resources = self.num_resources
+        coefficients: List[Dict[int, float]] = []
+        constants: List[List[float]] = []
+        for k, observation in enumerate(problem.observations):
+            scale = observation.ipc / observation.kernel.size
+            coeff: Dict[int, float] = {}
+            const = [0.0] * num_resources
             for instruction, multiplicity in observation.kernel.items():
                 coefficient = multiplicity * scale
-                if instruction in problem.free_edges:
-                    if resource in problem.free_edges[instruction]:
-                        expr.add_term(rho_vars[(instruction, resource)], coefficient)
+                fi = free_index.get(instruction)
+                if fi is not None:
+                    coeff[fi] = coefficient
                 else:
                     frozen = problem.frozen_rho.get(instruction, {})
-                    expr.constant += coefficient * frozen.get(resource, 0.0)
-            usage[index][resource] = expr
-            # Capacity: no resource can be used beyond its throughput.  When
-            # the frozen contribution alone exceeds it (soft_capacity), the
-            # bound degrades gracefully to "the free part adds nothing".
-            bound = 1.0
-            if problem.soft_capacity and expr.constant > 1.0:
-                bound = expr.constant
-            model.add_constraint(expr <= bound)
-    return model, rho_vars, usage
+                    for resource, weight in frozen.items():
+                        if resource < num_resources:
+                            const[resource] += coefficient * weight
+            coefficients.append(coeff)
+            constants.append(const)
+
+            for resource in range(num_resources):
+                bound = 1.0
+                if problem.soft_capacity and const[resource] > 1.0:
+                    bound = const[resource]
+                template.set_row_bounds(
+                    self.cap_rows[(k, resource)], -math.inf, bound - const[resource]
+                )
+                for fi in self.present[k]:
+                    if resource in self.edges[fi]:
+                        template.set_entry(
+                            self.cap_entries[(k, resource, fi)], coeff[fi]
+                        )
+                if self.mode == "exact":
+                    template.set_row_bounds(
+                        self.sdef_rows[(k, resource)], -math.inf, 1.0 + const[resource]
+                    )
+                    for fi in self.present[k]:
+                        if resource in self.edges[fi]:
+                            template.set_entry(
+                                self.sdef_entries[(k, resource, fi)], -coeff[fi]
+                            )
+        return _BoundData(coefficients=coefficients, constants=constants)
+
+    def bind_assignment(
+        self, data: _BoundData, assignment: Sequence[int]
+    ) -> None:
+        """Heuristic mode: point every S row at its assigned resource."""
+        template = self.template
+        for k, assigned in enumerate(assignment):
+            template.set_row_bounds(
+                self.s_rows[k], -math.inf, data.constants[k][assigned]
+            )
+            for fi in self.present[k]:
+                coefficient = data.coefficients[k][fi]
+                for resource in self.edges[fi]:
+                    template.set_entry(
+                        self.s_entries[(k, fi, resource)],
+                        -coefficient if resource == assigned else 0.0,
+                    )
+
+    # -- extraction ----------------------------------------------------------
+    def extract_rho(
+        self, problem: WeightProblem, x, clamp: bool = True
+    ) -> Dict[Instruction, Dict[int, float]]:
+        rho: Dict[Instruction, Dict[int, float]] = {}
+        for fi, instruction in enumerate(_free_order(problem)):
+            weights: Dict[int, float] = {}
+            for resource in self.edges[fi]:
+                value = float(x[self.rho_cols[(fi, resource)]])
+                if clamp and value < 0:
+                    value = 0.0
+                weights[resource] = value
+            rho[instruction] = weights
+        return rho
 
 
-def _extract_solution(
+class WeightModelCache:
+    """Reusable BWP templates keyed by problem structure.
+
+    LPAUX solves one constant-shape problem per instruction; within one
+    cache, problems sharing a :func:`_structure_signature` rebind data into
+    the same compiled :class:`ModelTemplate` instead of rebuilding it.
+    The cache is cheap enough to keep per worker process — the parallel
+    complete-mapping phase creates one per work chunk.
+    """
+
+    def __init__(self) -> None:
+        self._templates: Dict[tuple, _BwpTemplate] = {}
+
+    def template_for(self, problem: WeightProblem, mode: str) -> _BwpTemplate:
+        signature = _structure_signature(problem, mode)
+        template = self._templates.get(signature)
+        if template is None:
+            mode_, num_resources, edges, present = signature
+            template = _BwpTemplate(mode_, num_resources, edges, present)
+            self._templates[signature] = template
+        return template
+
+    @property
+    def num_templates(self) -> int:
+        return len(self._templates)
+
+    @property
+    def num_solves(self) -> int:
+        return sum(t.template.solve_count for t in self._templates.values())
+
+
+def _template_for(
+    problem: WeightProblem, mode: str, cache: Optional[WeightModelCache]
+) -> _BwpTemplate:
+    if cache is not None:
+        return cache.template_for(problem, mode)
+    mode_, num_resources, edges, present = _structure_signature(problem, mode)
+    return _BwpTemplate(mode_, num_resources, edges, present)
+
+
+def _finalize(
     problem: WeightProblem,
-    solution,
-    rho_vars: Mapping[Tuple[Instruction, int], object],
+    rho: Dict[Instruction, Dict[int, float]],
     saturation_values: Mapping[int, float],
 ) -> WeightSolution:
-    rho: Dict[Instruction, Dict[int, float]] = {}
-    for (instruction, resource), variable in rho_vars.items():
-        value = float(solution[variable])
-        if value < 0:
-            value = 0.0
-        rho.setdefault(instruction, {})[resource] = value
-    for instruction in problem.free_edges:
-        rho.setdefault(instruction, {})
     saturation = {
         observation: saturation_values[index]
         for index, observation in enumerate(problem.observations)
@@ -181,37 +402,32 @@ def _extract_solution(
 # Exact MILP
 # ---------------------------------------------------------------------------
 
-def solve_weights_exact(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+def solve_weights_exact(
+    problem: WeightProblem,
+    config: PalmedConfig,
+    cache: Optional[WeightModelCache] = None,
+) -> WeightSolution:
     """Exact BWP: per-kernel binaries select the saturated resource."""
-    model, rho_vars, usage = _build_base_model(problem, "lp2-bwp-exact")
-
-    saturation_vars = {}
-    for index, observation in enumerate(problem.observations):
-        s_var = model.add_variable(f"S[{index}]", lb=0.0, ub=1.0)
-        saturation_vars[index] = s_var
-        selectors = []
-        for resource in range(problem.num_resources):
-            selector = model.add_binary(f"sel[{index},{resource}]")
-            selectors.append(selector)
-            # When this resource is selected, S_K may not exceed its usage.
-            model.add_constraint(s_var - usage[index][resource] + selector <= 1.0)
-        model.add_constraint(lin_sum(selectors) >= 1.0)
-
-    objective = lin_sum(saturation_vars.values()) - 1e-4 * lin_sum(rho_vars.values())
-    model.maximize(objective)
-    solution = model.solve(time_limit=config.milp_time_limit)
+    bwp = _template_for(problem, "exact", cache)
+    bwp.bind(problem)
+    solution = bwp.template.solve(time_limit=config.milp_time_limit)
 
     saturation_values = {
-        index: float(solution[s_var]) for index, s_var in saturation_vars.items()
+        k: float(solution.x[s_col]) for k, s_col in enumerate(bwp.s_cols)
     }
-    return _extract_solution(problem, solution, rho_vars, saturation_values)
+    rho = bwp.extract_rho(problem, solution.x)
+    return _finalize(problem, rho, saturation_values)
 
 
 # ---------------------------------------------------------------------------
 # Alternating heuristic
 # ---------------------------------------------------------------------------
 
-def solve_weights_heuristic(problem: WeightProblem, config: PalmedConfig) -> WeightSolution:
+def solve_weights_heuristic(
+    problem: WeightProblem,
+    config: PalmedConfig,
+    cache: Optional[WeightModelCache] = None,
+) -> WeightSolution:
     """Alternating argmax / LP refinement of the BWP.
 
     Starting from the resource with the largest *potential* usage for every
@@ -219,7 +435,9 @@ def solve_weights_heuristic(problem: WeightProblem, config: PalmedConfig) -> Wei
     that resource only, then recomputes every kernel's argmax resource from
     the solution and repeats.  The objective is non-decreasing across rounds
     (the previous solution stays feasible when the assignment is unchanged),
-    and the loop stops as soon as the assignment is stable.
+    and the loop stops as soon as the assignment is stable.  Every round
+    re-solves the *same* compiled template with the S rows re-pointed at the
+    new assignment — structure is built once per problem family.
     """
     num_resources = problem.num_resources
 
@@ -238,22 +456,16 @@ def solve_weights_heuristic(problem: WeightProblem, config: PalmedConfig) -> Wei
         best = max(range(num_resources), key=lambda r: potential_usage(observation, r))
         assignment.append(best)
 
+    bwp = _template_for(problem, "heuristic", cache)
+    data = bwp.bind(problem)
+
     best_result: Optional[WeightSolution] = None
     for _ in range(max(1, config.lp2_heuristic_rounds)):
-        model, rho_vars, usage = _build_base_model(problem, "lp2-bwp-heuristic")
-        saturation_vars = {}
-        for index, observation in enumerate(problem.observations):
-            s_var = model.add_variable(f"S[{index}]", lb=0.0, ub=1.0)
-            saturation_vars[index] = s_var
-            model.add_constraint(s_var - usage[index][assignment[index]] <= 0.0)
-        objective = lin_sum(saturation_vars.values()) - 1e-4 * lin_sum(rho_vars.values())
-        model.maximize(objective)
-        solution = model.solve(time_limit=config.milp_time_limit)
+        bwp.bind_assignment(data, assignment)
+        solution = bwp.template.solve(time_limit=config.milp_time_limit)
 
-        saturation_values = {}
-        rho_values: Dict[Instruction, Dict[int, float]] = {}
-        for (instruction, resource), variable in rho_vars.items():
-            rho_values.setdefault(instruction, {})[resource] = float(solution[variable])
+        rho_values = bwp.extract_rho(problem, solution.x, clamp=False)
+        saturation_values: Dict[int, float] = {}
         new_assignment = []
         for index, observation in enumerate(problem.observations):
             loads = [
@@ -262,7 +474,16 @@ def solve_weights_heuristic(problem: WeightProblem, config: PalmedConfig) -> Wei
             ]
             new_assignment.append(int(max(range(num_resources), key=lambda r: loads[r])))
             saturation_values[index] = min(1.0, max(loads))
-        result = _extract_solution(problem, solution, rho_vars, saturation_values)
+        # The argmax above uses the raw LP values; the reported weights clamp
+        # solver noise below zero (same split as the exact path).
+        clamped = {
+            instruction: {
+                resource: (0.0 if value < 0 else value)
+                for resource, value in weights.items()
+            }
+            for instruction, weights in rho_values.items()
+        }
+        result = _finalize(problem, clamped, saturation_values)
         if best_result is None or result.total_error < best_result.total_error - 1e-9:
             best_result = result
         if new_assignment == assignment:

@@ -1,0 +1,13 @@
+"""Shared parallel execution substrate.
+
+One process-pool fan-out serves every parallel path in the repository:
+microbenchmark measurement (:mod:`repro.measure`) and per-instruction LPAUX
+solving (:mod:`repro.palmed.complete_mapping`) both chunk their work through
+:class:`ParallelRuntime`, inheriting the same worker-count/chunking policy,
+the same deterministic input-order reassembly and the same sequential
+degradation on pool-less environments.
+"""
+
+from repro.runtime.pool import ParallelRuntime
+
+__all__ = ["ParallelRuntime"]

@@ -28,37 +28,25 @@ Example
 
 from __future__ import annotations
 
-import enum
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
-from scipy import optimize, sparse
+from scipy import sparse
+
+from repro.solvers import stats as solver_stats
+from repro.solvers.builder import solve_milp_arrays
+from repro.solvers.status import (
+    InfeasibleError,
+    SolverError,
+    SolveStatus,
+    UnboundedError,
+    map_status,
+)
 
 Number = Union[int, float]
-
-
-class SolverError(RuntimeError):
-    """Base class for solver-layer failures."""
-
-
-class InfeasibleError(SolverError):
-    """Raised when the problem is proven infeasible."""
-
-
-class UnboundedError(SolverError):
-    """Raised when the problem is unbounded in the optimization direction."""
-
-
-class SolveStatus(enum.Enum):
-    """Status of a solve, mapped from HiGHS status codes."""
-
-    OPTIMAL = "optimal"
-    INFEASIBLE = "infeasible"
-    UNBOUNDED = "unbounded"
-    LIMIT = "limit"
-    ERROR = "error"
 
 
 @dataclass(frozen=True)
@@ -453,6 +441,10 @@ class Model:
         if n == 0:
             return Solution(SolveStatus.OPTIMAL, self._objective.expr.constant, {})
 
+        # The expression-based front-end re-assembles its matrices on every
+        # solve: account that as one model build (hot paths that want
+        # builds < solves use ModelBuilder/ModelTemplate instead).
+        build_start = time.monotonic()
         sign = -1.0 if self._objective.maximize else 1.0
         c = np.zeros(n)
         for var, coeff in self._objective.expr.terms.items():
@@ -463,9 +455,9 @@ class Model:
         )
         lower = np.array([var.lb for var in self._variables])
         upper = np.array([var.ub for var in self._variables])
-        bounds = optimize.Bounds(lb=lower, ub=upper)
 
-        constraints = None
+        matrix = None
+        lo = hi = None
         if self._constraints:
             rows, cols, data = [], [], []
             lo = np.empty(len(self._constraints))
@@ -480,52 +472,33 @@ class Model:
             matrix = sparse.csr_matrix(
                 (data, (rows, cols)), shape=(len(self._constraints), n)
             )
-            constraints = optimize.LinearConstraint(matrix, lo, hi)
+        solver_stats.record_build(time.monotonic() - build_start)
 
-        options: Dict[str, float] = {}
-        if time_limit is not None:
-            options["time_limit"] = float(time_limit)
-        if mip_rel_gap is not None:
-            options["mip_rel_gap"] = float(mip_rel_gap)
-
-        result = optimize.milp(
-            c=c,
-            constraints=constraints,
-            integrality=integrality,
-            bounds=bounds,
-            options=options or None,
+        status, x, gap = solve_milp_arrays(
+            self.name,
+            c,
+            integrality,
+            lower,
+            upper,
+            matrix,
+            lo,
+            hi,
+            time_limit=time_limit,
+            mip_rel_gap=mip_rel_gap,
         )
 
-        status = self._map_status(result.status)
-        if status is SolveStatus.INFEASIBLE:
-            raise InfeasibleError(f"model {self.name!r} is infeasible: {result.message}")
-        if status is SolveStatus.UNBOUNDED:
-            raise UnboundedError(f"model {self.name!r} is unbounded: {result.message}")
-        if result.x is None:
-            raise SolverError(
-                f"model {self.name!r} failed to solve (status={result.status}): "
-                f"{result.message}"
-            )
-
-        values = {var: float(result.x[var.index]) for var in self._variables}
+        values = {var: float(x[var.index]) for var in self._variables}
         for var in self._variables:
             if var.integer:
                 values[var] = float(round(values[var]))
         objective = self._objective.expr.value(values)
-        gap = getattr(result, "mip_gap", None)
         return Solution(status=status, objective=objective, values=values, mip_gap=gap)
 
     @staticmethod
     def _map_status(code: int) -> SolveStatus:
-        # scipy.optimize.milp status codes:
-        #   0 optimal, 1 iteration/time limit, 2 infeasible, 3 unbounded, 4 other
-        mapping = {
-            0: SolveStatus.OPTIMAL,
-            1: SolveStatus.LIMIT,
-            2: SolveStatus.INFEASIBLE,
-            3: SolveStatus.UNBOUNDED,
-        }
-        return mapping.get(code, SolveStatus.ERROR)
+        # Kept as an alias of repro.solvers.status.map_status for callers
+        # (and tests) that used the historical staticmethod.
+        return map_status(code)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

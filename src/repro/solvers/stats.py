@@ -1,0 +1,145 @@
+"""Per-solve statistics of the solver layer.
+
+Every model construction and every solve in the repository is accounted
+for in a :class:`SolveStats` record: how many model structures were built,
+how many solves ran, and how wall-clock splits between *building* models
+and *solving* them.  The split is the LP-side analogue of the paper's
+Table II benchmarking-vs-LP-time split, and it is what makes template
+reuse visible — a phase that rebinds :class:`repro.solvers.ModelTemplate`
+data instead of rebuilding structure reports ``model_builds`` far below
+``solves``.
+
+Recording is sink-based: all instrumentation records into the *active*
+sink, which defaults to a process-global record (read it with
+:func:`solver_stats`, clear it with :func:`reset_solver_stats`).  A scope
+that wants its own attribution — one LPAUX instruction solved inside a
+worker process, the core-mapping stage of a pipeline run — redirects
+recording with :func:`use_stats` and merges the local record wherever it
+needs to go (:func:`record_stats`); the LPAUX fan-out uses exactly this to
+ship worker-side stats back to the parent process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass
+class SolveStats:
+    """Counts and wall-clock of model construction vs. solving.
+
+    Attributes
+    ----------
+    model_builds:
+        Number of model structures constructed (one per
+        :meth:`repro.solvers.ModelBuilder.build` and one per
+        :meth:`repro.solvers.Model.solve`, which assembles its matrix on
+        every call).  Template reuse shows up as ``model_builds`` smaller
+        than ``solves``.
+    solves:
+        Number of MILP/LP solves handed to the backend solver.
+    build_time:
+        Seconds spent constructing model structures (monotonic clock).
+    solve_time:
+        Seconds spent inside the backend solver (monotonic clock).
+    """
+
+    model_builds: int = 0
+    solves: int = 0
+    build_time: float = 0.0
+    solve_time: float = 0.0
+
+    # -- combination ---------------------------------------------------------
+    def merge(self, other: "SolveStats") -> "SolveStats":
+        """Accumulate another record into this one (returns ``self``)."""
+        self.model_builds += other.model_builds
+        self.solves += other.solves
+        self.build_time += other.build_time
+        self.solve_time += other.solve_time
+        return self
+
+    def copy(self) -> "SolveStats":
+        return SolveStats(
+            model_builds=self.model_builds,
+            solves=self.solves,
+            build_time=self.build_time,
+            solve_time=self.solve_time,
+        )
+
+    @property
+    def template_reuses(self) -> int:
+        """Solves served by rebinding an existing structure."""
+        return max(0, self.solves - self.model_builds)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model_builds": self.model_builds,
+            "solves": self.solves,
+            "build_time": self.build_time,
+            "solve_time": self.solve_time,
+        }
+
+
+#: Process-global default sink.
+_GLOBAL = SolveStats()
+
+#: The sink instrumentation currently records into.
+_ACTIVE = _GLOBAL
+
+
+def solver_stats() -> SolveStats:
+    """A copy of the process-global solver statistics."""
+    return _GLOBAL.copy()
+
+
+def reset_solver_stats() -> None:
+    """Zero the process-global solver statistics.
+
+    Zeroes in place (never rebinds ``_GLOBAL``) so sinks captured by an
+    active :func:`use_stats` scope keep pointing at the live record.
+    """
+    _GLOBAL.model_builds = 0
+    _GLOBAL.solves = 0
+    _GLOBAL.build_time = 0.0
+    _GLOBAL.solve_time = 0.0
+
+
+@contextlib.contextmanager
+def use_stats(sink: SolveStats) -> Iterator[SolveStats]:
+    """Redirect all recording to ``sink`` for the duration of the block.
+
+    The sink *replaces* the previously active one (recording is not
+    duplicated into the global record); callers that want the global
+    totals to stay complete merge the local sink back with
+    :func:`record_stats` once they are done attributing it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = sink
+    try:
+        yield sink
+    finally:
+        _ACTIVE = previous
+
+
+def record_stats(delta: SolveStats) -> None:
+    """Merge an externally-accumulated record into the active sink.
+
+    Used to re-inject per-scope records captured under :func:`use_stats`
+    (or shipped back from worker processes) into the enclosing accounting.
+    """
+    _ACTIVE.merge(delta)
+
+
+def record_build(seconds: float) -> None:
+    """Account one model-structure construction."""
+    _ACTIVE.model_builds += 1
+    _ACTIVE.build_time += seconds
+
+
+def record_solve(seconds: float) -> None:
+    """Account one backend solve."""
+    _ACTIVE.solves += 1
+    _ACTIVE.solve_time += seconds

@@ -1,0 +1,47 @@
+"""Solve statuses and solver-layer exceptions.
+
+Shared by the classic :class:`repro.solvers.Model` front-end and the sparse
+:class:`repro.solvers.ModelBuilder`/:class:`repro.solvers.ModelTemplate`
+path, so both report failures identically.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolverError(RuntimeError):
+    """Base class for solver-layer failures."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when the problem is proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """Raised when the problem is unbounded in the optimization direction."""
+
+
+class SolveStatus(enum.Enum):
+    """Status of a solve, mapped from HiGHS status codes."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"
+    ERROR = "error"
+
+
+def map_status(code: int) -> SolveStatus:
+    """Map a :func:`scipy.optimize.milp` status code to a :class:`SolveStatus`.
+
+    scipy.optimize.milp status codes:
+    0 optimal, 1 iteration/time limit, 2 infeasible, 3 unbounded, 4 other.
+    """
+    mapping = {
+        0: SolveStatus.OPTIMAL,
+        1: SolveStatus.LIMIT,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+    }
+    return mapping.get(code, SolveStatus.ERROR)

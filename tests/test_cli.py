@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.machine == "toy"
+        assert args.parallelism == 0
+        assert args.lp_parallelism == 0
+        assert args.cache is None
+        assert args.json is None
+
+    def test_unknown_machine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--machine", "pentium"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestMain:
+    def test_toy_run_prints_table_and_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "stats.json"
+        exit_code = main(["--machine", "toy", "--fast", "--json", str(json_path)])
+        assert exit_code == 0
+
+        output = capsys.readouterr().out
+        assert "Benchmarking time (s)" in output
+        assert "Instructions mapped" in output
+
+        payload = json.loads(json_path.read_text())
+        assert payload["stats"]["machine_name"]
+        assert payload["stats"]["num_instructions_mapped"] > 0
+        assert payload["stats"]["lp_solves"] > 0
+        assert payload["config"]["lp_parallelism"] == 0
+        assert payload["mapping"]["resources"]
+
+    def test_show_mapping_and_json_stdout(self, capsys):
+        exit_code = main(["--machine", "toy", "--fast", "--json", "-", "--show-mapping"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert '"stats"' in output

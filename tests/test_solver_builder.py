@@ -1,0 +1,300 @@
+"""Tests for the sparse solver layer: ModelBuilder, ModelTemplate, stats.
+
+The contract under test: the template path solves the same problems as the
+expression-based :class:`Model` front-end (identical optima), rebinding a
+template's data is equivalent to building the model fresh (bitwise-equal
+solutions), and the statistics layer reports template reuse as
+``model_builds`` < ``solves``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.palmed import PalmedConfig
+from repro.palmed.lp1_shape import KernelObservation
+from repro.palmed.lp2_weights import (
+    WeightModelCache,
+    WeightProblem,
+    solve_weights_exact,
+    solve_weights_heuristic,
+)
+from repro.mapping.microkernel import Microkernel
+from repro.solvers import (
+    InfeasibleError,
+    Model,
+    ModelBuilder,
+    SolverError,
+    SolveStats,
+    SolveStatus,
+    UnboundedError,
+    use_stats,
+)
+
+
+class TestModelBuilder:
+    def test_simple_lp_matches_model_front_end(self):
+        # max 2x + 3y  s.t.  x + 2y <= 4, 3x + y <= 6  (same LP as the
+        # Model-based test in test_solvers_lp.py).
+        builder = ModelBuilder("lp")
+        x = builder.add_variable(0.0)
+        y = builder.add_variable(0.0)
+        builder.add_row_entries([x, y], [1.0, 2.0], hi=4.0)
+        builder.add_row_entries([x, y], [3.0, 1.0], hi=6.0)
+        builder.set_objective({x: 2.0, y: 3.0}, maximize=True)
+        solution = builder.build().solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(6.8, abs=1e-6)
+        assert solution[x] == pytest.approx(1.6, abs=1e-6)
+        assert solution[y] == pytest.approx(1.2, abs=1e-6)
+
+    def test_binary_knapsack(self):
+        values = [10, 13, 18, 31, 7, 15]
+        weights = [2, 3, 4, 5, 1, 4]
+        builder = ModelBuilder("knapsack")
+        items = [builder.add_binary() for _ in values]
+        builder.add_row_entries(items, [float(w) for w in weights], hi=10.0)
+        builder.set_objective(
+            {col: float(v) for col, v in zip(items, values)}, maximize=True
+        )
+        solution = builder.build().solve()
+        assert solution.objective == pytest.approx(56.0)
+        chosen = [i for i, col in enumerate(items) if solution[col] > 0.5]
+        assert chosen == [2, 3, 4]
+
+    def test_infeasible_and_unbounded_raise(self):
+        builder = ModelBuilder("infeasible")
+        x = builder.add_variable(0.0, 1.0)
+        builder.add_row_entries([x], [1.0], lo=2.0)
+        builder.set_objective({x: 1.0})
+        with pytest.raises(InfeasibleError):
+            builder.build().solve()
+
+        builder = ModelBuilder("unbounded")
+        x = builder.add_variable(0.0)
+        builder.set_objective({x: 1.0}, maximize=True)
+        with pytest.raises(UnboundedError):
+            builder.build().solve()
+
+    def test_empty_model_solves_trivially(self):
+        solution = ModelBuilder("empty").build().solve()
+        assert solution.is_optimal
+        assert solution.objective == 0.0
+
+    def test_duplicate_entries_rejected(self):
+        builder = ModelBuilder("dup")
+        x = builder.add_variable()
+        row = builder.add_row(hi=1.0)
+        builder.add_entry(row, x, 1.0)
+        builder.add_entry(row, x, 2.0)
+        with pytest.raises(SolverError):
+            builder.build()
+
+    def test_invalid_bounds_rejected(self):
+        builder = ModelBuilder("bounds")
+        with pytest.raises(SolverError):
+            builder.add_variable(lb=2.0, ub=1.0)
+
+
+class TestModelTemplate:
+    def _capacity_template(self):
+        """max x + y  s.t.  a*x + b*y <= C with rebindable a, b, C."""
+        builder = ModelBuilder("capacity")
+        x = builder.add_variable(0.0)
+        y = builder.add_variable(0.0)
+        row = builder.add_row(hi=4.0)
+        h_x = builder.add_entry(row, x, 1.0)
+        h_y = builder.add_entry(row, y, 2.0)
+        builder.set_objective({x: 1.0, y: 1.0}, maximize=True)
+        return builder.build(), (x, y, row, h_x, h_y)
+
+    def test_rebinding_matches_fresh_build(self):
+        template, (x, y, row, h_x, h_y) = self._capacity_template()
+        first = template.solve()
+        assert first.objective == pytest.approx(4.0)
+
+        # Rebind coefficients and RHS, re-solve the same structure.
+        template.set_entry(h_x, 2.0)
+        template.set_entry(h_y, 1.0)
+        template.set_row_bounds(row, -math.inf, 6.0)
+        rebound = template.solve()
+
+        fresh = ModelBuilder("fresh")
+        fx = fresh.add_variable(0.0)
+        fy = fresh.add_variable(0.0)
+        fresh.add_row_entries([fx, fy], [2.0, 1.0], hi=6.0)
+        fresh.set_objective({fx: 1.0, fy: 1.0}, maximize=True)
+        reference = fresh.build().solve()
+
+        assert rebound.objective == reference.objective
+        assert list(rebound.x) == list(reference.x)
+        assert template.solve_count == 2
+
+    def test_variable_bound_and_objective_rebinding(self):
+        builder = ModelBuilder("box")
+        x = builder.add_variable(0.0, 1.0)
+        builder.set_objective({x: 1.0}, maximize=True)
+        template = builder.build()
+        assert template.solve().objective == pytest.approx(1.0)
+        template.set_variable_bounds(x, 0.0, 5.0)
+        assert template.solve().objective == pytest.approx(5.0)
+        template.set_objective_coeff(x, 2.0)
+        assert template.solve().objective == pytest.approx(10.0)
+
+    def test_integer_values_rounded(self):
+        builder = ModelBuilder("int")
+        b = builder.add_binary()
+        builder.add_row_entries([b], [1.0], lo=0.5)
+        builder.set_objective({b: 1.0})
+        solution = builder.build().solve()
+        assert solution[b] == 1.0
+
+
+class TestSolveStats:
+    def test_builds_and_solves_recorded(self):
+        stats = SolveStats()
+        with use_stats(stats):
+            builder = ModelBuilder("stats")
+            x = builder.add_variable(0.0, 2.0)
+            builder.set_objective({x: 1.0}, maximize=True)
+            template = builder.build()
+            template.solve()
+            template.solve()
+        assert stats.model_builds == 1
+        assert stats.solves == 2
+        assert stats.template_reuses == 1
+        assert stats.solve_time >= 0.0
+
+    def test_model_front_end_counts_one_build_per_solve(self):
+        stats = SolveStats()
+        with use_stats(stats):
+            for _ in range(3):
+                model = Model("m")
+                x = model.add_variable("x", lb=0.0, ub=1.0)
+                model.maximize(x)
+                model.solve()
+        assert stats.model_builds == 3
+        assert stats.solves == 3
+
+    def test_merge_and_copy(self):
+        a = SolveStats(model_builds=1, solves=2, build_time=0.5, solve_time=1.5)
+        b = a.copy()
+        b.merge(SolveStats(model_builds=2, solves=3, build_time=0.25, solve_time=0.5))
+        assert (b.model_builds, b.solves) == (3, 5)
+        assert b.build_time == pytest.approx(0.75)
+        assert (a.model_builds, a.solves) == (1, 2)
+        assert a.as_dict()["solves"] == 2
+
+
+def _weight_problem(seed_ipc: float, num_resources: int = 3) -> WeightProblem:
+    """An LPAUX-shaped problem: one free instruction, frozen core, K kernels."""
+    free = Instruction("FREE", InstructionKind.INT_ALU, Extension.BASE)
+    frozen = Instruction("CORE", InstructionKind.FP_ADD, Extension.BASE)
+    observations = [
+        KernelObservation(kernel=Microkernel.single(free), ipc=seed_ipc),
+        KernelObservation(
+            kernel=Microkernel({free: 1.0, frozen: 4.0}), ipc=seed_ipc + 0.5
+        ),
+    ]
+    return WeightProblem(
+        observations=observations,
+        num_resources=num_resources,
+        free_edges={free: set(range(num_resources))},
+        frozen_rho={frozen: {0: 0.9, 1: 0.2}},
+        rho_upper_bound=None,
+        soft_capacity=True,
+    )
+
+
+class TestWeightModelCache:
+    @pytest.mark.parametrize("solver", [solve_weights_exact, solve_weights_heuristic])
+    def test_cached_solutions_bitwise_equal_fresh(self, solver):
+        config = PalmedConfig()
+        cache = WeightModelCache()
+        for index in range(4):
+            problem = _weight_problem(1.0 + 0.2 * index)
+            cached = solver(problem, config, cache)
+            fresh = solver(problem, config, None)
+            assert cached.rho == fresh.rho
+            assert cached.total_error == fresh.total_error
+        # Four identically-shaped problems share one compiled template.
+        assert cache.num_templates == 1
+        assert cache.num_solves >= 4
+
+    def test_template_reuse_visible_in_stats(self):
+        config = PalmedConfig()
+        cache = WeightModelCache()
+        stats = SolveStats()
+        with use_stats(stats):
+            for index in range(5):
+                solve_weights_exact(_weight_problem(1.0 + 0.1 * index), config, cache)
+        assert stats.solves == 5
+        assert stats.model_builds == 1
+        assert stats.model_builds < stats.solves
+
+    def test_different_shapes_get_different_templates(self):
+        config = PalmedConfig()
+        cache = WeightModelCache()
+        solve_weights_exact(_weight_problem(1.0, num_resources=3), config, cache)
+        solve_weights_exact(_weight_problem(1.0, num_resources=4), config, cache)
+        assert cache.num_templates == 2
+
+
+class TestStatusHandling:
+    def _one_var_milp(self):
+        model = Model("limit")
+        x = model.add_variable("x", lb=0.0, ub=3.0, integer=True)
+        model.add_constraint(x <= 2.5)
+        model.maximize(x)
+        return model, x
+
+    def test_limit_status_returns_incumbent(self, monkeypatch):
+        import numpy as np
+        from scipy import optimize
+
+        def fake_milp(*args, **kwargs):
+            class Result:
+                status = 1  # iteration/time limit
+                message = "limit reached"
+                x = np.array([2.0])
+            return Result()
+
+        monkeypatch.setattr(optimize, "milp", fake_milp)
+        model, x = self._one_var_milp()
+        solution = model.solve(time_limit=1.0)
+        assert solution.status is SolveStatus.LIMIT
+        assert not solution.is_optimal
+        assert solution[x] == 2.0
+
+    def test_limit_without_incumbent_raises(self, monkeypatch):
+        from scipy import optimize
+
+        def fake_milp(*args, **kwargs):
+            class Result:
+                status = 1
+                message = "limit reached, no incumbent"
+                x = None
+            return Result()
+
+        monkeypatch.setattr(optimize, "milp", fake_milp)
+        model, _ = self._one_var_milp()
+        with pytest.raises(SolverError):
+            model.solve(time_limit=1.0)
+
+    def test_error_status_raises(self, monkeypatch):
+        from scipy import optimize
+
+        def fake_milp(*args, **kwargs):
+            class Result:
+                status = 4  # "other" -> ERROR
+                message = "numerical trouble"
+                x = None
+            return Result()
+
+        monkeypatch.setattr(optimize, "milp", fake_milp)
+        model, _ = self._one_var_milp()
+        with pytest.raises(SolverError):
+            model.solve()

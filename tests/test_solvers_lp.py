@@ -213,6 +213,44 @@ class TestSolving:
         solution = model.solve()
         assert solution[x] == pytest.approx(7.0)
 
+    def test_indicator_leq_big_m_is_tight(self):
+        # The relaxation slack with b = 0 must be *exactly* big_m: the
+        # encoded constraint is expr <= rhs + M * (1 - b), so with b = 0 the
+        # maximum of expr is min(ub, rhs + M).  A looser encoding (slack
+        # beyond M) would weaken the LP relaxation of LP1's exists-blocks.
+        for big_m in (1.0, 2.5, 6.0):
+            model = Model()
+            b = model.add_binary("b")
+            x = model.add_variable("x", lb=0.0, ub=100.0)
+            model.add_indicator_leq(b, x, 3.0, big_m=big_m)
+            model.add_constraint(b <= 0.0)
+            model.maximize(x)
+            solution = model.solve()
+            assert solution[x] == pytest.approx(3.0 + big_m)
+
+    def test_indicator_leq_default_big_m(self):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_variable("x", lb=0.0)
+        constraint = model.add_indicator_leq(b, x, 1.0)
+        # expr + M*b <= rhs + M with the documented default M.
+        assert constraint.expr.terms[b] == pytest.approx(Model.DEFAULT_BIG_M)
+        _, upper = constraint.bounds()
+        assert upper == pytest.approx(1.0 + Model.DEFAULT_BIG_M)
+
+    def test_indicator_leq_encoding_coefficients(self):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_variable("x", lb=0.0, ub=1.0)
+        y = model.add_variable("y", lb=0.0, ub=1.0)
+        constraint = model.add_indicator_leq(b, x + 2 * y, 1.5, big_m=2.0)
+        assert constraint.sense == "<="
+        assert constraint.expr.terms[x] == pytest.approx(1.0)
+        assert constraint.expr.terms[y] == pytest.approx(2.0)
+        assert constraint.expr.terms[b] == pytest.approx(2.0)
+        _, upper = constraint.bounds()
+        assert upper == pytest.approx(3.5)
+
     def test_indicator_requires_binary(self):
         model = Model()
         x = model.add_variable("x", lb=0.0, ub=1.0)
@@ -232,6 +270,28 @@ class TestSolving:
         model.minimize(lin_sum(selectors))
         solution = model.solve()
         assert sum(solution[s] for s in selectors) == pytest.approx(1.0)
+
+    def test_add_exists_single_selector_is_forced(self):
+        model = Model()
+        only = model.add_binary("only")
+        model.add_exists([only])
+        model.minimize(only)
+        solution = model.solve()
+        assert solution[only] == 1.0
+
+    def test_add_exists_combined_with_indicators(self):
+        # The LP1 pattern: each selector implies a cap on its resource's
+        # load; "exists" forces at least one cap to be active.
+        model = Model()
+        selectors = [model.add_binary(f"sel{i}") for i in range(2)]
+        loads = [model.add_variable(f"load{i}", lb=0.0, ub=10.0) for i in range(2)]
+        for selector, load in zip(selectors, loads):
+            model.add_indicator_leq(selector, load, 1.0, big_m=9.0)
+        model.add_exists(selectors)
+        model.maximize(lin_sum(loads))
+        solution = model.solve()
+        # Exactly one load is capped at 1, the other reaches its bound.
+        assert sorted(solution[load] for load in loads) == pytest.approx([1.0, 10.0])
 
 
 class TestStatusMapping:
