@@ -7,9 +7,13 @@ generated microbenchmarks.  The mapping predicts the steady-state throughput
 (IPC) of any dependency-free instruction mix with a closed formula.
 
 This package contains the full system described in the paper plus the
-substrates needed to run it without proprietary hardware or tools; see
-DESIGN.md at the repository root for the inventory and EXPERIMENTS.md for the
-reproduced tables and figures.
+substrates needed to run it without proprietary hardware or tools, and a
+serving layer on top: inferred mappings persist as fingerprint-keyed
+artifacts (:mod:`repro.artifacts`) and serve batched throughput
+predictions through a vectorized engine (:mod:`repro.predictors.batch`).
+See ``docs/architecture.md`` for the layer tour, ``docs/serving.md`` for
+the characterize-once/predict-forever workflow and ``docs/paper_map.md``
+for the module ↔ paper-section map.
 
 Quickstart
 ----------
@@ -58,8 +62,10 @@ from repro.simulator import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactRegistry",
     "ConjunctiveResourceMapping",
     "DisjunctivePortMapping",
+    "MappingArtifact",
     "Extension",
     "GreedyCycleSimulator",
     "Instruction",
@@ -89,10 +95,15 @@ __all__ = [
 
 
 def __getattr__(name):
-    # The PALMED pipeline is imported lazily to keep `import repro` cheap for
-    # users who only need the mapping/machine substrates.
+    # The PALMED pipeline and the artifact registry are imported lazily to
+    # keep `import repro` cheap for users who only need the mapping/machine
+    # substrates.
     if name in ("Palmed", "PalmedConfig", "PalmedResult"):
         from repro import palmed as _palmed
 
         return getattr(_palmed, name)
+    if name in ("ArtifactRegistry", "MappingArtifact"):
+        from repro import artifacts as _artifacts
+
+        return getattr(_artifacts, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,22 +1,39 @@
 """Command-line entry point: ``python -m repro``.
 
-Runs the full PALMED pipeline on one of the bundled ground-truth machines
-and prints the Table II statistics, so the pipeline has a runnable surface
-beyond the ``examples/`` scripts.  The flags expose the systems knobs of
-the reproduction: measurement parallelism, LP parallelism, the persistent
-measurement cache and machine-readable JSON output.
+Exposes the characterize-once / predict-forever workflow of the paper as
+three subcommands sharing a mapping-artifact registry
+(:mod:`repro.artifacts`):
+
+``characterize``
+    Run the full PALMED pipeline on a bundled ground-truth machine, print
+    the Table II statistics and (with ``--artifacts``) save the inferred
+    mapping keyed by the machine's content fingerprint.
+``predict``
+    Load the saved mapping for the machine and serve batched throughput
+    predictions for a synthetic benchmark suite — no inference, just the
+    closed formula over the vectorized engine.
+``evaluate``
+    Load the saved mapping and reproduce the Fig. 4b accuracy metrics
+    (coverage, weighted RMS error, Kendall's τ) against native execution,
+    again without re-running the inference.
+
+Invoking ``python -m repro`` without a subcommand keeps the historical
+behaviour (a characterization run without artifact persistence).
 
 Examples
 --------
-Characterize the toy machine::
+Characterize the toy machine and store the mapping, then serve from it::
 
-    python -m repro --machine toy
+    python -m repro characterize --machine toy --artifacts artifacts/
+    python -m repro predict  --machine toy --artifacts artifacts/ --suite spec
+    python -m repro evaluate --machine toy --artifacts artifacts/ --suite spec
 
 A Skylake-like machine with a 48-instruction ISA, 4 measurement workers,
-4 LP workers and a persistent cache, dumping stats as JSON::
+4 LP workers and a persistent measurement cache, dumping stats as JSON::
 
-    python -m repro --machine skl --isa-size 48 --parallelism 4 \\
-        --lp-parallelism 4 --cache measurements.json --json stats.json
+    python -m repro characterize --machine skl --isa-size 48 \\
+        --parallelism 4 --lp-parallelism 4 \\
+        --cache measurements.json --json stats.json --artifacts artifacts/
 """
 
 from __future__ import annotations
@@ -31,17 +48,17 @@ from repro import PortModelBackend, build_machine
 from repro.machines import available_machines
 from repro.palmed import Palmed, PalmedConfig
 
+#: Subcommand names; anything else falls back to the legacy flag-only CLI.
+_COMMANDS = ("characterize", "predict", "evaluate")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run the PALMED pipeline on a bundled machine model.",
-    )
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The machine-selection flags shared by every subcommand."""
     parser.add_argument(
         "--machine",
         default="toy",
         choices=sorted(available_machines()),
-        help="ground-truth machine model to characterize (default: toy)",
+        help="ground-truth machine model (default: toy)",
     )
     parser.add_argument(
         "--isa-size",
@@ -52,6 +69,60 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="ISA generation seed (default: 0)"
     )
+
+
+def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
+    """The benchmark-suite flags shared by ``predict`` and ``evaluate``."""
+    parser.add_argument(
+        "--suite",
+        default="spec",
+        choices=("spec", "polybench"),
+        help="synthetic suite family to generate (default: spec)",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=200,
+        help="number of basic blocks for the spec-like suite (default: 200)",
+    )
+    parser.add_argument(
+        "--suite-seed",
+        type=int,
+        default=0,
+        help="suite generation seed (default: 0)",
+    )
+
+
+def _build_machine(args: argparse.Namespace):
+    return build_machine(args.machine, n_instructions=args.isa_size, seed=args.seed)
+
+
+def _build_suite(args: argparse.Namespace, machine):
+    from repro.workloads import (
+        generate_polybench_like_suite,
+        generate_spec_like_suite,
+    )
+
+    if args.suite == "polybench":
+        return generate_polybench_like_suite(machine.instructions, seed=args.suite_seed)
+    return generate_spec_like_suite(
+        machine.instructions, n_blocks=args.blocks, seed=args.suite_seed
+    )
+
+
+def _write_json(payload: object, destination: Optional[str]) -> None:
+    if destination is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _add_characterize_arguments(parser: argparse.ArgumentParser) -> None:
+    """The characterization flags shared by the legacy CLI and ``characterize``."""
     parser.add_argument(
         "--parallelism",
         type=int,
@@ -86,12 +157,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the inferred instruction -> resource usage table",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The legacy (no-subcommand) parser: one characterization run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the PALMED pipeline on a bundled machine model.",
+        epilog="subcommands: characterize | predict | evaluate — run "
+        "'python -m repro <subcommand> --help' for the artifact-serving "
+        "workflow (without a subcommand, a plain characterization runs)",
+    )
+    _add_machine_arguments(parser)
+    _add_characterize_arguments(parser)
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="mapping-artifact registry directory; saves the inferred "
+        "mapping keyed by the machine fingerprint",
+    )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-
+def _run_characterize(args: argparse.Namespace) -> int:
+    """Shared implementation of the legacy CLI and ``characterize``."""
     config = PalmedConfig().for_fast_tests() if args.fast else PalmedConfig()
     config = dataclasses.replace(
         config,
@@ -100,9 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_path=args.cache,
     )
 
-    machine = build_machine(
-        args.machine, n_instructions=args.isa_size, seed=args.seed
-    )
+    machine = _build_machine(args)
     backend = PortModelBackend(machine)
     palmed = Palmed(backend, machine.benchmarkable_instructions(), config)
     result = palmed.run()
@@ -112,19 +200,204 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(result.mapping.table())
 
-    if args.json is not None:
-        payload = {
+    if args.artifacts is not None:
+        from repro.artifacts import ArtifactRegistry
+
+        path = ArtifactRegistry(args.artifacts).save_result(result, machine)
+        print(f"\nMapping artifact saved to {path}")
+
+    _write_json(
+        {
             "stats": dataclasses.asdict(result.stats),
             "config": dataclasses.asdict(config),
             "mapping": result.mapping.to_dict(),
-        }
-        text = json.dumps(payload, indent=2, sort_keys=True)
-        if args.json == "-":
-            print(text)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(text + "\n")
+        },
+        args.json,
+    )
     return 0
+
+
+def _load_artifact(args: argparse.Namespace, machine):
+    from repro.artifacts import ArtifactRegistry
+
+    return ArtifactRegistry(args.artifacts).load_for_machine(machine)
+
+
+def _run_predict(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactError
+    from repro.predictors import PalmedPredictor
+    from repro.predictors.batch import SuiteMatrix
+
+    machine = _build_machine(args)
+    try:
+        artifact = _load_artifact(args, machine)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    suite = _build_suite(args, machine)
+    predictor = PalmedPredictor(artifact.mapping)
+    lowered = SuiteMatrix([block.kernel for block in suite])
+    predictions = predictor.predict_batch(lowered)
+
+    processed = [p for p in predictions if p.ipc is not None]
+    print(
+        f"Served {len(predictions)} blocks of {suite.name} from artifact "
+        f"{artifact.machine_fingerprint[:16]}… ({artifact.machine_name})"
+    )
+    if processed:
+        mean_ipc = sum(p.ipc for p in processed) / len(processed)
+        print(
+            f"processed {len(processed)} blocks, mean predicted IPC {mean_ipc:.3f}"
+        )
+    shown = max(0, min(args.limit, len(predictions)))
+    if shown:
+        print(f"\nFirst {shown} predictions:")
+        width = max(len(block.name) for block in list(suite)[:shown])
+        for block, prediction in list(zip(suite, predictions))[:shown]:
+            ipc = "unsupported" if prediction.ipc is None else f"{prediction.ipc:.3f}"
+            print(f"  {block.name.ljust(width)}  IPC {ipc}")
+
+    _write_json(
+        {
+            "machine": artifact.machine_name,
+            "machine_fingerprint": artifact.machine_fingerprint,
+            "suite": suite.name,
+            "predictions": [
+                {
+                    "block": block.name,
+                    "ipc": prediction.ipc,
+                    "supported_fraction": prediction.supported_fraction,
+                }
+                for block, prediction in zip(suite, predictions)
+            ],
+        },
+        args.json,
+    )
+    return 0
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactError
+    from repro.evaluation import evaluate_predictors, format_accuracy_table
+    from repro.measure import MeasurementCache
+    from repro.predictors import PalmedPredictor
+
+    machine = _build_machine(args)
+    try:
+        artifact = _load_artifact(args, machine)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    suite = _build_suite(args, machine)
+    backend = PortModelBackend(machine)
+    cache = MeasurementCache(args.cache) if args.cache else None
+    evaluation = evaluate_predictors(
+        backend,
+        suite,
+        [PalmedPredictor(artifact.mapping)],
+        machine_name=machine.name,
+        workers=args.workers,
+        cache=cache,
+    )
+    print(
+        f"Fig. 4b metrics from saved artifact {artifact.machine_fingerprint[:16]}… "
+        f"(no inference re-run)"
+    )
+    print(format_accuracy_table([evaluation]))
+
+    _write_json(
+        {
+            "machine": machine.name,
+            "machine_fingerprint": artifact.machine_fingerprint,
+            "suite": suite.name,
+            "metrics": {
+                metrics.tool: metrics.as_row() for metrics in evaluation.all_metrics()
+            },
+        },
+        args.json,
+    )
+    return 0
+
+
+def build_command_parser() -> argparse.ArgumentParser:
+    """The subcommand parser (``characterize`` / ``predict`` / ``evaluate``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PALMED pipeline and mapping-artifact serving CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    characterize = subparsers.add_parser(
+        "characterize",
+        help="run the PALMED inference and save the mapping artifact",
+    )
+    _add_machine_arguments(characterize)
+    _add_characterize_arguments(characterize)
+    characterize.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        required=True,
+        help="mapping-artifact registry directory to save into",
+    )
+    characterize.set_defaults(handler=_run_characterize)
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="serve batched predictions from a saved mapping artifact",
+    )
+    _add_machine_arguments(predict)
+    _add_suite_arguments(predict)
+    predict.add_argument(
+        "--artifacts", metavar="DIR", required=True, help="registry directory"
+    )
+    predict.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="number of per-block predictions to print (default: 10)",
+    )
+    predict.add_argument("--json", metavar="PATH", default=None)
+    predict.set_defaults(handler=_run_predict)
+
+    evaluate = subparsers.add_parser(
+        "evaluate",
+        help="reproduce the Fig. 4b metrics from a saved mapping artifact",
+    )
+    _add_machine_arguments(evaluate)
+    _add_suite_arguments(evaluate)
+    evaluate.add_argument(
+        "--artifacts", metavar="DIR", required=True, help="registry directory"
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="native-measurement worker processes (default: in-process)",
+    )
+    evaluate.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="persistent measurement-cache file for the native IPCs",
+    )
+    evaluate.add_argument("--json", metavar="PATH", default=None)
+    evaluate.set_defaults(handler=_run_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and not argv[0].startswith("-"):
+        # Any leading word is (or was meant to be) a subcommand: let the
+        # command parser handle it so typos report the valid choices
+        # instead of falling through to the flag-only legacy parser.
+        args = build_command_parser().parse_args(argv)
+        return args.handler(args)
+    args = build_parser().parse_args(argv)
+    return _run_characterize(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,28 @@
+"""Mapping-artifact registry: characterize once, predict forever.
+
+The PALMED pipeline spends hours (Table II) inferring a conjunctive
+resource mapping; serving predictions from it is a closed formula.  This
+package persists the inference result as a versioned JSON artifact keyed by
+the machine's content fingerprint, so any later process can load the
+mapping and serve throughput predictions without re-running the pipeline —
+the workflow behind ``python -m repro characterize`` / ``predict`` /
+``evaluate`` (see ``docs/serving.md``).
+"""
+
+from repro.artifacts.registry import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ArtifactNotFoundError,
+    ArtifactRegistry,
+    FingerprintMismatchError,
+    MappingArtifact,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactRegistry",
+    "FingerprintMismatchError",
+    "MappingArtifact",
+]

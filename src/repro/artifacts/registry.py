@@ -1,0 +1,239 @@
+"""Versioned, fingerprint-keyed storage of inferred resource mappings.
+
+A PALMED characterization is expensive (hours of benchmarking + LP solving
+on real hardware, Table II) while serving predictions from the resulting
+conjunctive mapping is a closed formula.  The registry makes the
+characterize-once / predict-forever split work across processes:
+
+* :class:`MappingArtifact` is the serialized unit — the inferred
+  :class:`~repro.mapping.conjunctive.ConjunctiveResourceMapping`, the
+  Table II run statistics (:class:`~repro.palmed.result.PalmedStats`) and
+  provenance metadata, wrapped in a versioned JSON envelope;
+* :class:`ArtifactRegistry` is a directory of artifacts keyed by the
+  **machine fingerprint** (:func:`repro.measure.machine_fingerprint`, the
+  SHA-256 of the complete ground-truth machine description): saving uses
+  the fingerprint as the file key, loading *verifies* it.
+
+Keying on content means stale artifacts can never be served silently: if
+the machine model changes in any way, its fingerprint changes, the lookup
+misses, and the caller gets :class:`ArtifactNotFoundError` instead of a
+mapping inferred for a different machine.  A file whose embedded
+fingerprint disagrees with the requested key (hand-edited, copied between
+machines) is refused with :class:`FingerprintMismatchError`.
+
+See ``docs/serving.md`` for the end-to-end workflow and the
+``python -m repro characterize`` / ``predict`` / ``evaluate`` subcommands
+that drive it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.machines.machine import Machine
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.measure.fingerprint import machine_fingerprint
+from repro.palmed.result import PalmedResult, PalmedStats
+
+#: Version of the artifact JSON envelope.  Bumped on incompatible layout
+#: changes; loaders refuse envelopes they do not understand.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+class ArtifactError(RuntimeError):
+    """Base class for artifact-registry failures."""
+
+
+class ArtifactNotFoundError(ArtifactError):
+    """No artifact stored under the requested machine fingerprint."""
+
+
+class FingerprintMismatchError(ArtifactError):
+    """The artifact's embedded fingerprint disagrees with the requested key."""
+
+
+@dataclass
+class MappingArtifact:
+    """A saved characterization: mapping + run statistics + provenance.
+
+    The artifact deliberately stores only what serving needs — the
+    conjunctive mapping (which *is* the throughput model, Definition IV.2)
+    and the Table II statistics — not the full
+    :class:`~repro.palmed.result.PalmedResult` with its intermediate
+    selection/core structures, which are reproducible from the mapping and
+    are not needed to predict.
+    """
+
+    machine_name: str
+    machine_fingerprint: str
+    mapping: ConjunctiveResourceMapping
+    stats: PalmedStats
+    created_at: float = field(default_factory=time.time)
+    format_version: int = ARTIFACT_FORMAT_VERSION
+
+    @classmethod
+    def from_result(cls, result: PalmedResult, machine: Machine) -> "MappingArtifact":
+        """Build the artifact for a finished PALMED run on ``machine``."""
+        return cls(
+            machine_name=machine.name,
+            machine_fingerprint=machine_fingerprint(machine),
+            mapping=result.mapping,
+            stats=result.stats,
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON envelope written by :meth:`ArtifactRegistry.save`."""
+        return {
+            "format_version": self.format_version,
+            "machine_name": self.machine_name,
+            "machine_fingerprint": self.machine_fingerprint,
+            "created_at": self.created_at,
+            "mapping": self.mapping.to_dict(),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MappingArtifact":
+        """Inverse of :meth:`to_dict`; refuses unknown envelope versions."""
+        version = payload.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact format version {version!r} "
+                f"(this build reads version {ARTIFACT_FORMAT_VERSION})"
+            )
+        return cls(
+            machine_name=str(payload["machine_name"]),
+            machine_fingerprint=str(payload["machine_fingerprint"]),
+            mapping=ConjunctiveResourceMapping.from_dict(payload["mapping"]),
+            stats=PalmedStats.from_dict(dict(payload["stats"])),
+            created_at=float(payload.get("created_at", 0.0)),
+            format_version=int(version),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MappingArtifact":
+        return cls.from_dict(json.loads(text))
+
+
+class ArtifactRegistry:
+    """A directory of mapping artifacts keyed by machine fingerprint.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one ``mapping-<fingerprint>.json`` file per
+        characterized machine; created on first save.
+
+    Examples
+    --------
+    Characterize once, predict forever (possibly in another process)::
+
+        registry = ArtifactRegistry("artifacts")
+        registry.save(MappingArtifact.from_result(palmed_result, machine))
+        ...
+        artifact = registry.load_for_machine(machine)   # any later process
+        predictor = PalmedPredictor(artifact.mapping)
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        """The file an artifact with this machine fingerprint lives in."""
+        return self.root / f"mapping-{fingerprint}.json"
+
+    # -- save ----------------------------------------------------------------
+    def save(self, artifact: MappingArtifact) -> Path:
+        """Atomically persist an artifact under its machine fingerprint."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(artifact.machine_fingerprint)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(artifact.to_json() + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def save_result(self, result: PalmedResult, machine: Machine) -> Path:
+        """Convenience: wrap a PALMED result into an artifact and save it."""
+        return self.save(MappingArtifact.from_result(result, machine))
+
+    # -- load ----------------------------------------------------------------
+    def has(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def load(self, fingerprint: str) -> MappingArtifact:
+        """Load and *verify* the artifact stored under a machine fingerprint.
+
+        Raises
+        ------
+        ArtifactNotFoundError
+            Nothing is stored under the fingerprint — in particular, the
+            machine model changed since characterization (its fingerprint
+            changed with it) and the stale artifact is simply not found.
+        FingerprintMismatchError
+            The file exists but its embedded fingerprint differs from the
+            requested one (tampered or misplaced file); it is refused.
+        ArtifactError
+            The envelope version is unsupported or the file is unreadable.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            raise ArtifactNotFoundError(
+                f"no mapping artifact for machine fingerprint {fingerprint[:16]}… "
+                f"under {self.root} — run the characterization first "
+                f"(python -m repro characterize)"
+            )
+        try:
+            artifact = MappingArtifact.from_json(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise ArtifactError(f"unreadable mapping artifact {path}: {error}") from error
+        if artifact.machine_fingerprint != fingerprint:
+            raise FingerprintMismatchError(
+                f"artifact {path} claims fingerprint "
+                f"{artifact.machine_fingerprint[:16]}… but was requested as "
+                f"{fingerprint[:16]}…; refusing a stale or misplaced mapping"
+            )
+        return artifact
+
+    def load_for_machine(self, machine: Machine) -> MappingArtifact:
+        """Load the artifact matching a machine's *current* content fingerprint."""
+        return self.load(machine_fingerprint(machine))
+
+    # -- listing -------------------------------------------------------------
+    def entries(self) -> List[MappingArtifact]:
+        """Every loadable artifact in the registry, sorted by machine name."""
+        artifacts = []
+        if not self.root.is_dir():
+            return artifacts
+        for path in sorted(self.root.glob("mapping-*.json")):
+            try:
+                artifacts.append(
+                    MappingArtifact.from_json(path.read_text(encoding="utf-8"))
+                )
+            except (OSError, ValueError, KeyError, TypeError, ArtifactError):
+                continue
+        artifacts.sort(key=lambda artifact: artifact.machine_name)
+        return artifacts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactRegistry({self.root})"

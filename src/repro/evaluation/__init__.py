@@ -4,7 +4,9 @@
   Kendall's τ rank correlation, coverage;
 * :mod:`repro.evaluation.harness` — run a set of predictors over a
   benchmark suite against native execution and collect per-tool metrics
-  (the rows of Fig. 4b) ;
+  (the rows of Fig. 4b); both sides are batched — native IPCs go through
+  the parallel/cached measurement layer, predictions through
+  ``predict_batch`` over one shared suite lowering;
 * :mod:`repro.evaluation.heatmap` — the predicted/native IPC-ratio
   density profiles of Fig. 4a;
 * :mod:`repro.evaluation.reporting` — plain-text rendering of the tables.

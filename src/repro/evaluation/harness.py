@@ -5,11 +5,16 @@ corresponding microkernel on the machine backend, queries every predictor,
 and aggregates the per-tool coverage, weighted RMS error and Kendall's τ —
 exactly the three columns reported per (machine, suite, tool) in the paper.
 
-Native measurements go through the batched measurement layer
-(:mod:`repro.measure`): the whole suite is measured in one batch, optionally
-fanned out over worker processes and served from a persistent
-:class:`~repro.measure.MeasurementCache`, so re-evaluating suites against a
-machine that a PALMED run already characterized costs no re-measurement.
+Both sides of the comparison are batched.  Native measurements go through
+the batched measurement layer (:mod:`repro.measure`): the whole suite is
+measured in one batch, optionally fanned out over worker processes and
+served from a persistent :class:`~repro.measure.MeasurementCache`, so
+re-evaluating suites against a machine that a PALMED run already
+characterized costs no re-measurement.  Predictions go through
+``predict_batch``: the suite is lowered once to its sparse count matrix
+(:class:`~repro.predictors.batch.SuiteMatrix`) and shared by every tool, so
+mapping-backed predictors evaluate the whole suite with a few numpy
+operations instead of one Python call per block.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.measure import MeasurementCache, ParallelDispatcher, backend_fingerprint
 from repro.predictors.base import Prediction, Predictor
+from repro.predictors.batch import SuiteMatrix, predict_batch_serial
 from repro.evaluation.metrics import coverage as coverage_metric
 from repro.evaluation.metrics import kendall_tau, rms_error
 from repro.simulator.backend import MeasurementBackend
@@ -170,14 +176,29 @@ def evaluate_predictors(
         dispatcher = ParallelDispatcher(workers=workers)
     blocks = list(suite)
     natives = _native_ipcs(backend, blocks, dispatcher, cache)
-    records: List[BlockRecord] = []
-    for block, native_ipc in zip(blocks, natives):
-        if native_ipc is None:
-            continue
-        record = BlockRecord(block=block, native_ipc=native_ipc)
-        for predictor in predictors:
-            record.predictions[predictor.name] = predictor.predict(block.kernel)
-        records.append(record)
+    records: List[BlockRecord] = [
+        BlockRecord(block=block, native_ipc=native_ipc)
+        for block, native_ipc in zip(blocks, natives)
+        if native_ipc is not None
+    ]
+    # Lower the measurable blocks once; every predictor serves the whole
+    # suite from the same sparse count matrix (bitwise-equal to the scalar
+    # per-block loop by the predict_batch contract).
+    lowered = SuiteMatrix([record.block.kernel for record in records])
+    for predictor in predictors:
+        batch = getattr(predictor, "predict_batch", None)
+        if batch is None:  # pre-batch third-party predictor
+            predictions = predict_batch_serial(predictor, lowered)
+        else:
+            predictions = batch(lowered)
+        if len(predictions) != len(records):
+            raise ValueError(
+                f"predictor {predictor.name!r} returned {len(predictions)} "
+                f"predictions for {len(records)} blocks; predict_batch must "
+                f"answer every kernel in input order"
+            )
+        for record, prediction in zip(records, predictions):
+            record.predictions[predictor.name] = prediction
     return EvaluationResult(
         machine_name=machine_name or getattr(getattr(backend, "machine", None), "name", ""),
         suite_name=suite.name,

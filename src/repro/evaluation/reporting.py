@@ -2,7 +2,9 @@
 
 The benchmark harness prints these tables so that each bench regenerates the
 corresponding paper artifact (Fig. 4b rows, Table II) in a directly
-comparable textual form; EXPERIMENTS.md records paper-vs-measured values.
+comparable textual form; the regenerated tables are written under
+``benchmarks/results/`` and ``docs/paper_map.md`` records which bench
+reproduces which paper artifact.
 """
 
 from __future__ import annotations

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -80,6 +81,22 @@ class PalmedStats:
         rows = self.as_table_rows()
         width = max(len(label) for label, _ in rows)
         return "\n".join(f"{label.ljust(width)}  {value}" for label, value in rows)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (used by :mod:`repro.artifacts`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PalmedStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored so artifacts written by a newer stats
+        schema still load (the artifact registry versions the envelope, not
+        every field).
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 @dataclass

@@ -23,9 +23,17 @@ reproduces *how the paper evaluates it*:
     A reimplementation of PMEvo's approach: evolutionary inference of a
     disjunctive instruction → port-set mapping from pairwise benchmarks,
     with restricted instruction coverage.
+
+Every predictor also exposes a batched entry point, ``predict_batch`` —
+required to be bitwise-identical to the scalar ``predict`` loop.  The
+mapping-backed tools (Palmed, uops.info) serve it through a compiled numpy
+lowering of their conjunctive mapping (:class:`MappingMatrix`, one
+bincount + column-max per suite); the others use the generic serial
+fallback (:func:`predict_batch_serial`).  See ``docs/serving.md``.
 """
 
 from repro.predictors.base import Prediction, Predictor
+from repro.predictors.batch import MappingMatrix, SuiteMatrix, predict_batch_serial
 from repro.predictors.palmed_predictor import PalmedPredictor
 from repro.predictors.portmap_oracle import UopsInfoPredictor
 from repro.predictors.static_analyzer import IacaLikePredictor, LlvmMcaPredictor
@@ -34,11 +42,14 @@ from repro.predictors.pmevo import PMEvoConfig, PMEvoPredictor, train_pmevo
 __all__ = [
     "IacaLikePredictor",
     "LlvmMcaPredictor",
+    "MappingMatrix",
     "PMEvoConfig",
     "PMEvoPredictor",
     "PalmedPredictor",
     "Prediction",
     "Predictor",
+    "SuiteMatrix",
     "UopsInfoPredictor",
+    "predict_batch_serial",
     "train_pmevo",
 ]

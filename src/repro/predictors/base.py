@@ -1,9 +1,18 @@
-"""The common predictor interface used by the evaluation harness."""
+"""The common predictor interface used by the evaluation harness.
+
+A predictor is the serving-side view of a throughput model (paper Sec. VI):
+a name for the Fig. 4b tables, a per-instruction ``supports`` test (the
+coverage columns), a scalar ``predict`` and a batched ``predict_batch``.
+The batch entry point is what the evaluation harness and the CLI use — for
+mapping-backed predictors it compiles down to a few numpy operations over
+the whole suite (see :mod:`repro.predictors.batch`), with results required
+to be bitwise-identical to the scalar path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
@@ -30,7 +39,14 @@ class Prediction:
 
 @runtime_checkable
 class Predictor(Protocol):
-    """A throughput predictor: a name plus a per-kernel IPC estimate."""
+    """A throughput predictor: a name plus per-kernel IPC estimates.
+
+    ``predict_batch`` must be observationally identical to calling
+    :meth:`predict` on each kernel in sequence (bitwise-equal floats) — the
+    same contract :meth:`repro.simulator.backend.MeasurementBackend.measure_batch`
+    imposes on the measurement side.  Implementations without a vectorized
+    fast path delegate to :func:`repro.predictors.batch.predict_batch_serial`.
+    """
 
     @property
     def name(self) -> str:
@@ -43,4 +59,8 @@ class Predictor(Protocol):
 
     def predict(self, kernel: Microkernel) -> Prediction:
         """Predicted IPC (and coverage) for a kernel."""
+        ...
+
+    def predict_batch(self, kernels: Sequence[Microkernel]) -> List[Prediction]:
+        """Predictions for every kernel, in input order (see class docs)."""
         ...

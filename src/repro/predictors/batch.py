@@ -1,0 +1,313 @@
+"""Vectorized batch prediction over conjunctive resource mappings.
+
+The paper's end product is a mapping that *serves* throughput predictions:
+Fig. 4b evaluates thousands of basic blocks per (machine, suite) pair, and
+the closed formula of Definition IV.2
+
+    t(K) = max_r Σ_i σ_{K,i} · ρ_{i,r},        IPC(K) = |K| / t(K)
+
+is just a sparse matrix product followed by a per-kernel max.  This module
+compiles both sides of that product once:
+
+* :class:`MappingMatrix` lowers a
+  :class:`~repro.mapping.conjunctive.ConjunctiveResourceMapping` to flat
+  (resources × instructions) ρ/throughput arrays;
+* :class:`SuiteMatrix` lowers a sequence of kernels to a sparse
+  instruction-count matrix in COO form (and is itself a sequence of those
+  kernels, so it can be passed anywhere a kernel list is accepted).
+
+``MappingMatrix.predict_batch`` then evaluates a whole suite with a handful
+of numpy operations — no per-kernel Python loops.  The suite lowering is
+built once and reused across predictors and repeated calls, which is where
+serving throughput comes from: the evaluation harness lowers each suite a
+single time for *all* tools, and ``python -m repro predict`` serves the
+same lowered suite from a saved mapping artifact.
+
+Bitwise contract
+----------------
+``predict_batch`` is required to return **bitwise-identical** floats to the
+scalar per-kernel path (filter supported instructions, build the reduced
+kernel, ``mapping.cycles``, divide) — the same contract the measurement
+layer imposes on ``measure_batch``.  Floating-point addition is not
+associative, so this only holds because the vectorized path replays the
+scalar evaluation order exactly:
+
+* per entry, the contribution is evaluated as ``(σ · uses) / throughput`` —
+  the same expression tree as ``multiplicity * amount / resources[r]``;
+* per ``(kernel, resource)`` cell, contributions are accumulated strictly
+  left-to-right in the scalar iteration order (instructions sorted by name,
+  resources in mapping insertion order) via :func:`numpy.bincount`, whose C
+  loop is a sequential left fold over its input.
+
+A plain BLAS matmul would be faster still but reserves the right to reorder
+the reduction, which breaks bitwise equality between batch sizes; the
+differential suite (``tests/test_predict_batch.py``) pins the contract down.
+
+The generic fallback :func:`predict_batch_serial` is the loop every
+predictor without a compiled fast path uses for its ``predict_batch``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.mapping.conjunctive import ConjunctiveResourceMapping
+from repro.mapping.microkernel import Microkernel
+from repro.predictors.base import Prediction, Predictor
+
+
+def predict_batch_serial(
+    predictor: Predictor, kernels: Sequence[Microkernel]
+) -> List[Prediction]:
+    """The generic ``predict_batch`` fallback: one scalar call per kernel.
+
+    Trivially satisfies the bitwise contract (it *is* the scalar path);
+    predictors without a compiled fast path (the expert static analyzers,
+    PMEvo) delegate to it.  Accepts a :class:`SuiteMatrix` as well, since a
+    suite lowering is a sequence of its kernels.
+    """
+    return [predictor.predict(kernel) for kernel in kernels]
+
+
+class SuiteMatrix(Sequence[Microkernel]):
+    """A batch of kernels lowered to a sparse instruction-count matrix.
+
+    The lowering walks every kernel once (instructions sorted by name, the
+    scalar iteration order) and records COO triplets ``(kernel, instruction
+    id, multiplicity)`` — the σ matrix of the suite — plus each kernel's
+    ``|K|``.  Building it is the only per-kernel Python work in the batch
+    path; everything downstream is numpy.  Lower a suite once and reuse the
+    result across predictors and calls (the evaluation harness does).
+
+    ``SuiteMatrix`` is itself a :class:`~typing.Sequence` of the original
+    kernels, so it can be handed to any ``predict_batch`` — compiled fast
+    paths use the lowering directly, serial fallbacks simply iterate.
+    """
+
+    def __init__(self, kernels: Sequence[Microkernel]) -> None:
+        self._kernels: List[Microkernel] = list(kernels)
+        instruction_ids: Dict[Instruction, int] = {}
+        kernel_ids: List[int] = []
+        column_ids: List[int] = []
+        counts: List[float] = []
+        sizes: List[float] = []
+        for k, kernel in enumerate(self._kernels):
+            sizes.append(kernel.size)
+            for instruction, count in kernel.items():
+                column = instruction_ids.setdefault(instruction, len(instruction_ids))
+                kernel_ids.append(k)
+                column_ids.append(column)
+                counts.append(count)
+        #: Distinct instructions of the suite, in first-seen order; the
+        #: column axis of the count matrix.
+        self.instructions: Tuple[Instruction, ...] = tuple(instruction_ids)
+        #: COO row (kernel) indices, entries kernel-major, sorted by
+        #: instruction name within a kernel.
+        self.kernel_ids = np.array(kernel_ids, dtype=np.intp)
+        #: COO column (instruction) indices, aligned with :attr:`kernel_ids`.
+        self.column_ids = np.array(column_ids, dtype=np.intp)
+        #: Instruction multiplicities σ, aligned with :attr:`kernel_ids`.
+        self.counts = np.array(counts, dtype=np.float64)
+        #: ``|K|`` of every kernel (bitwise-equal to ``Microkernel.size``).
+        self.sizes = np.array(sizes, dtype=np.float64)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self._kernels)
+
+    # -- Sequence[Microkernel] ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __iter__(self) -> Iterator[Microkernel]:
+        return iter(self._kernels)
+
+    def __getitem__(self, index):
+        return self._kernels[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuiteMatrix(kernels={len(self._kernels)}, "
+            f"instructions={len(self.instructions)}, nnz={self.counts.size})"
+        )
+
+
+class MappingMatrix:
+    """A conjunctive mapping lowered to flat (resources × instructions) arrays.
+
+    Parameters
+    ----------
+    mapping:
+        The conjunctive mapping to compile.
+    supported:
+        Optional extra restriction: instructions *not* in this collection are
+        treated as unsupported even when the mapping knows them (used by
+        :class:`~repro.predictors.portmap_oracle.UopsInfoPredictor`, whose
+        support set can be narrower than its mapping).
+
+    Notes
+    -----
+    The lowering stores one CSR-style block per supported instruction: the
+    indices of the resources it uses, the raw (non-normalized) use counts
+    and the matching resource throughputs, in the mapping's own usage
+    iteration order — the scalar accumulation order of
+    ``ConjunctiveResourceMapping.load_per_resource``, which the bitwise
+    contract requires (see the module docstring).  The dense ρ matrix is
+    exposed via :meth:`rho_matrix` for inspection and the docs.
+    """
+
+    def __init__(
+        self,
+        mapping: ConjunctiveResourceMapping,
+        supported: Optional[Sequence[Instruction]] = None,
+    ) -> None:
+        self.mapping = mapping
+        self._resources: Tuple[str, ...] = mapping.resources
+        resource_index = {name: i for i, name in enumerate(self._resources)}
+        self.num_resources = len(self._resources)
+
+        allowed = None if supported is None else set(supported)
+        self._index: Dict[Instruction, int] = {}
+        starts: List[int] = []
+        lengths: List[int] = []
+        flat_resources: List[int] = []
+        flat_amounts: List[float] = []
+        flat_throughputs: List[float] = []
+        for instruction in mapping.instructions:
+            if allowed is not None and instruction not in allowed:
+                continue
+            uses = mapping.usage_of(instruction)
+            self._index[instruction] = len(starts)
+            starts.append(len(flat_resources))
+            lengths.append(len(uses))
+            for name, amount in uses.items():
+                flat_resources.append(resource_index[name])
+                flat_amounts.append(amount)
+                flat_throughputs.append(mapping.throughput_of(name))
+        self._starts = np.array(starts, dtype=np.intp)
+        self._lengths = np.array(lengths, dtype=np.intp)
+        self._flat_resources = np.array(flat_resources, dtype=np.intp)
+        self._flat_amounts = np.array(flat_amounts, dtype=np.float64)
+        self._flat_throughputs = np.array(flat_throughputs, dtype=np.float64)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """Resource names, in matrix row order."""
+        return self._resources
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """Supported instructions, sorted by name (ρ-matrix column order)."""
+        return tuple(sorted(self._index, key=lambda inst: inst.name))
+
+    def supports(self, instruction: Instruction) -> bool:
+        return instruction in self._index
+
+    def rho_matrix(self) -> np.ndarray:
+        """The dense normalized ρ matrix, shape (resources, instructions).
+
+        ``rho[r, i]`` is ``ρ_{i,r}`` of Definition IV.2 (uses divided by
+        resource throughput) for the i-th instruction of
+        :attr:`instructions`.  One matrix product with a suite's count
+        matrix yields every kernel's per-resource loads.
+        """
+        instructions = self.instructions
+        rho = np.zeros((self.num_resources, len(instructions)))
+        for col, instruction in enumerate(instructions):
+            block = self._index[instruction]
+            start = self._starts[block]
+            stop = start + self._lengths[block]
+            rows = self._flat_resources[start:stop]
+            rho[rows, col] = (
+                self._flat_amounts[start:stop] / self._flat_throughputs[start:stop]
+            )
+        return rho
+
+    # -- batched prediction --------------------------------------------------
+    def predict_batch(
+        self, kernels: Union[SuiteMatrix, Sequence[Microkernel]]
+    ) -> List[Prediction]:
+        """Predictions for a whole suite, bitwise-equal to the scalar path.
+
+        Accepts either a pre-lowered :class:`SuiteMatrix` (the fast serving
+        path — lower once, predict many) or a plain kernel sequence, which
+        is lowered on the fly.  The evaluation reduces to: map suite
+        columns onto mapping columns, expand the COO triplets to per-use
+        contributions, one :func:`numpy.bincount` for the per-``(kernel,
+        resource)`` loads, a row max and one division.
+        """
+        suite = kernels if isinstance(kernels, SuiteMatrix) else SuiteMatrix(kernels)
+        num_kernels = suite.num_kernels
+        if num_kernels == 0:
+            return []
+
+        if suite.counts.size and len(self._index):
+            # Suite columns -> mapping columns (-1 = unsupported), then drop
+            # unsupported entries.  Relative entry order is preserved, so the
+            # scalar accumulation order survives the masking.
+            lut = np.array(
+                [self._index.get(inst, -1) for inst in suite.instructions],
+                dtype=np.intp,
+            )
+            mapped = lut[suite.column_ids]
+            mask = mapped >= 0
+            kernel_ids = suite.kernel_ids[mask]
+            blocks = mapped[mask]
+            multiplicities = suite.counts[mask]
+        else:
+            kernel_ids = np.empty(0, dtype=np.intp)
+            blocks = np.empty(0, dtype=np.intp)
+            multiplicities = np.empty(0, dtype=np.float64)
+
+        # Per-kernel supported weight and coverage flag; bincount's C loop is
+        # the same left fold as the scalar ``sum(supported.values())``.
+        processed = np.bincount(kernel_ids, minlength=num_kernels) > 0
+        supported_weight = np.bincount(
+            kernel_ids, weights=multiplicities, minlength=num_kernels
+        )
+
+        lengths = self._lengths[blocks]
+        total = int(lengths.sum())
+        if total:
+            # Expand each (kernel, instruction) entry into its per-resource
+            # uses: gather positions into the flat CSR arrays.
+            ends = np.cumsum(lengths)
+            positions = np.arange(total, dtype=np.intp) + np.repeat(
+                self._starts[blocks] - (ends - lengths), lengths
+            )
+            # Same expression tree as the scalar path: (σ · uses) / throughput.
+            contributions = (
+                np.repeat(multiplicities, lengths)
+                * self._flat_amounts[positions]
+                / self._flat_throughputs[positions]
+            )
+            loads = np.bincount(
+                np.repeat(kernel_ids, lengths) * self.num_resources
+                + self._flat_resources[positions],
+                weights=contributions,
+                minlength=num_kernels * self.num_resources,
+            ).reshape(num_kernels, self.num_resources)
+            cycles = loads.max(axis=1)
+        else:
+            cycles = np.zeros(num_kernels)
+
+        fractions = supported_weight / suite.sizes
+        ipcs = np.divide(
+            suite.sizes, cycles, out=np.zeros(num_kernels), where=cycles > 0
+        )
+
+        predictions: List[Prediction] = []
+        for seen, t_value, fraction, ipc in zip(
+            processed.tolist(), cycles.tolist(), fractions.tolist(), ipcs.tolist()
+        ):
+            if not seen:
+                predictions.append(Prediction(ipc=None, supported_fraction=0.0))
+            elif t_value <= 0:
+                predictions.append(Prediction(ipc=None, supported_fraction=fraction))
+            else:
+                predictions.append(Prediction(ipc=ipc, supported_fraction=fraction))
+        return predictions

@@ -2,22 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.isa.instruction import Instruction
 from repro.mapping.conjunctive import ConjunctiveResourceMapping
 from repro.mapping.microkernel import Microkernel
 from repro.palmed.result import PalmedResult
 from repro.predictors.base import Prediction
+from repro.predictors.batch import MappingMatrix
 
 
 class PalmedPredictor:
     """IPC predictions from an inferred conjunctive resource mapping.
 
+    This is the serving side of the paper's pipeline: predictions use the
+    closed formula of Definition IV.2 (``t(K) = max_r load_r``), evaluated
+    per kernel by :meth:`predict` and for whole suites by
+    :meth:`predict_batch`, which lowers the mapping once to a compiled
+    numpy form (:class:`~repro.predictors.batch.MappingMatrix`).
+
     Accepts either a :class:`~repro.palmed.PalmedResult` or a bare
     :class:`~repro.mapping.ConjunctiveResourceMapping` (e.g. one loaded from
-    JSON), so mappings can be stored and reused without re-running the
-    inference.
+    a saved artifact, see :mod:`repro.artifacts`), so mappings can be stored
+    and reused without re-running the inference.
     """
 
     def __init__(
@@ -30,6 +37,7 @@ class PalmedPredictor:
         else:
             self.mapping = source
         self._name = name
+        self._matrix: Optional[MappingMatrix] = None
 
     @property
     def name(self) -> str:
@@ -52,6 +60,18 @@ class PalmedPredictor:
         if cycles <= 0:
             return Prediction(ipc=None, supported_fraction=fraction)
         return Prediction(ipc=kernel.size / cycles, supported_fraction=fraction)
+
+    def predict_batch(self, kernels: Sequence[Microkernel]) -> List[Prediction]:
+        """Vectorized predictions for a suite, bitwise-equal to :meth:`predict`.
+
+        The mapping is lowered to its ρ/throughput arrays on first use and
+        the whole batch is evaluated with a handful of numpy operations —
+        the fast path behind the evaluation harness and the
+        ``python -m repro predict`` / ``evaluate`` subcommands.
+        """
+        if self._matrix is None:
+            self._matrix = MappingMatrix(self.mapping)
+        return self._matrix.predict_batch(kernels)
 
     def predict_ipc(self, kernel: Microkernel) -> Optional[float]:
         """Convenience accessor returning just the IPC (or None)."""

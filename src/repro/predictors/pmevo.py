@@ -32,6 +32,7 @@ from repro.mapping.disjunctive import DisjunctivePortMapping, MicroOp
 from repro.mapping.dual import build_dual
 from repro.mapping.microkernel import Microkernel
 from repro.predictors.base import Prediction
+from repro.predictors.batch import predict_batch_serial
 from repro.simulator.backend import MeasurementBackend
 
 
@@ -235,6 +236,10 @@ class PMEvoPredictor:
         if cycles <= 0:
             return Prediction(ipc=None, supported_fraction=fraction)
         return Prediction(ipc=kernel.size / cycles, supported_fraction=fraction)
+
+    def predict_batch(self, kernels: Sequence[Microkernel]) -> List[Prediction]:
+        """Per-kernel predictions via the generic serial fallback."""
+        return predict_batch_serial(self, kernels)
 
 
 def port_pressure_baseline(machine: Machine) -> Dict[Instruction, float]:

@@ -16,16 +16,24 @@ As discussed in the paper, this family of tools therefore tends to
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.isa.instruction import Instruction
 from repro.machines.machine import Machine
 from repro.mapping.microkernel import Microkernel
 from repro.predictors.base import Prediction
+from repro.predictors.batch import MappingMatrix
 
 
 class UopsInfoPredictor:
-    """Ground-truth port mapping, port-pressure-only throughput estimate."""
+    """Ground-truth port mapping, port-pressure-only throughput estimate.
+
+    Reproduces the paper's Sec. VI.B protocol for uops.info's data: the
+    machine's exact disjunctive port mapping converted to its conjunctive
+    dual without any front-end resource, so throughput is approximated "by
+    the port with the highest usage".  Suites are served through the same
+    compiled batch path as :class:`~repro.predictors.PalmedPredictor`.
+    """
 
     def __init__(
         self,
@@ -40,6 +48,7 @@ class UopsInfoPredictor:
             self._supported = set(machine.benchmarkable_instructions())
         else:
             self._supported = set(supported_instructions)
+        self._matrix: Optional[MappingMatrix] = None
 
     @property
     def name(self) -> str:
@@ -62,3 +71,9 @@ class UopsInfoPredictor:
         if cycles <= 0:
             return Prediction(ipc=None, supported_fraction=fraction)
         return Prediction(ipc=kernel.size / cycles, supported_fraction=fraction)
+
+    def predict_batch(self, kernels: Sequence[Microkernel]) -> List[Prediction]:
+        """Vectorized predictions for a suite, bitwise-equal to :meth:`predict`."""
+        if self._matrix is None:
+            self._matrix = MappingMatrix(self.mapping, supported=self._supported)
+        return self._matrix.predict_batch(kernels)

@@ -21,13 +21,14 @@ configurable way:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Dict, List, Sequence
 
 from repro.isa.instruction import Instruction
 from repro.machines.machine import FRONT_END_RESOURCE, Machine
 from repro.mapping.conjunctive import ConjunctiveResourceMapping
 from repro.mapping.microkernel import Microkernel
 from repro.predictors.base import Prediction
+from repro.predictors.batch import predict_batch_serial
 
 
 def _stable_fraction(instruction: Instruction, salt: str) -> float:
@@ -105,6 +106,10 @@ class _ExpertModelPredictor:
         if cycles <= 0:
             return Prediction(ipc=None, supported_fraction=fraction)
         return Prediction(ipc=kernel.size / cycles, supported_fraction=fraction)
+
+    def predict_batch(self, kernels: Sequence[Microkernel]) -> List[Prediction]:
+        """Per-kernel predictions via the generic serial fallback."""
+        return predict_batch_serial(self, kernels)
 
 
 class IacaLikePredictor(_ExpertModelPredictor):

@@ -1,0 +1,142 @@
+"""Tests for the mapping-artifact registry (characterize once, serve forever)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import PortModelBackend, build_toy_machine
+from repro.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ArtifactNotFoundError,
+    ArtifactRegistry,
+    FingerprintMismatchError,
+    MappingArtifact,
+)
+from repro.measure import machine_fingerprint
+from repro.palmed import Palmed, PalmedConfig
+from repro.predictors import PalmedPredictor
+
+
+@pytest.fixture(scope="module")
+def toy_result():
+    machine = build_toy_machine()
+    backend = PortModelBackend(machine)
+    palmed = Palmed(
+        backend, machine.benchmarkable_instructions(), PalmedConfig().for_fast_tests()
+    )
+    return machine, palmed.run()
+
+
+class TestMappingArtifact:
+    def test_from_result_carries_fingerprint(self, toy_result):
+        machine, result = toy_result
+        artifact = MappingArtifact.from_result(result, machine)
+        assert artifact.machine_name == machine.name
+        assert artifact.machine_fingerprint == machine_fingerprint(machine)
+        assert artifact.format_version == ARTIFACT_FORMAT_VERSION
+
+    def test_json_roundtrip_preserves_mapping_and_stats(self, toy_result):
+        machine, result = toy_result
+        artifact = MappingArtifact.from_result(result, machine)
+        clone = MappingArtifact.from_json(artifact.to_json())
+        assert clone.mapping.to_dict() == result.mapping.to_dict()
+        assert clone.stats == result.stats
+        assert clone.machine_fingerprint == artifact.machine_fingerprint
+
+    def test_unknown_format_version_refused(self, toy_result):
+        machine, result = toy_result
+        payload = MappingArtifact.from_result(result, machine).to_dict()
+        payload["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+        with pytest.raises(ArtifactError, match="format version"):
+            MappingArtifact.from_dict(payload)
+
+    def test_stats_from_dict_ignores_unknown_keys(self, toy_result):
+        _, result = toy_result
+        payload = result.stats.to_dict()
+        payload["added_in_a_future_schema"] = 123
+        assert type(result.stats).from_dict(payload) == result.stats
+
+
+class TestArtifactRegistry:
+    def test_save_load_roundtrip_across_handles(self, toy_result, tmp_path):
+        """A fresh registry handle (as a fresh process) reloads the mapping."""
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path / "artifacts")
+        path = registry.save_result(result, machine)
+        assert path.exists()
+
+        fresh = ArtifactRegistry(tmp_path / "artifacts")
+        artifact = fresh.load_for_machine(machine)
+        assert artifact.mapping.to_dict() == result.mapping.to_dict()
+        assert artifact.stats == result.stats
+        # The loaded mapping predicts identically to the original result.
+        kernel_counts = {inst: 2.0 for inst in machine.benchmarkable_instructions()[:2]}
+        from repro.mapping.microkernel import Microkernel
+
+        kernel = Microkernel(kernel_counts)
+        assert PalmedPredictor(artifact.mapping).predict(kernel) == PalmedPredictor(
+            result.mapping
+        ).predict(kernel)
+
+    def test_missing_artifact_raises_not_found(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path / "empty")
+        with pytest.raises(ArtifactNotFoundError, match="characterize"):
+            registry.load("ab" * 32)
+        assert not registry.has("ab" * 32)
+        assert registry.entries() == []
+
+    def test_changed_machine_model_misses(self, toy_result, tmp_path):
+        """A stale artifact is never served: new model => new fingerprint."""
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        registry.save_result(result, machine)
+        changed = machine.restricted(machine.instructions[:3])
+        assert machine_fingerprint(changed) != machine_fingerprint(machine)
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load_for_machine(changed)
+
+    def test_tampered_fingerprint_refused(self, toy_result, tmp_path):
+        """A file stored under a key it does not embed is refused."""
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save_result(result, machine)
+        wrong_key = "cd" * 32
+        path.rename(registry.path_for(wrong_key))
+        with pytest.raises(FingerprintMismatchError, match="refusing"):
+            registry.load(wrong_key)
+
+    def test_corrupt_file_raises_artifact_error(self, toy_result, tmp_path):
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save_result(result, machine)
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            registry.load_for_machine(machine)
+
+    def test_version_bump_refused_on_load(self, toy_result, tmp_path):
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save_result(result, machine)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="format version"):
+            registry.load_for_machine(machine)
+
+    def test_entries_lists_saved_artifacts(self, toy_result, tmp_path):
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        registry.save_result(result, machine)
+        entries = registry.entries()
+        assert [entry.machine_name for entry in entries] == [machine.name]
+
+    def test_save_is_idempotent(self, toy_result, tmp_path):
+        machine, result = toy_result
+        registry = ArtifactRegistry(tmp_path)
+        first = registry.save_result(result, machine)
+        second = registry.save_result(result, machine)
+        assert first == second
+        assert len(registry.entries()) == 1

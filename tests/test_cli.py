@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_command_parser, build_parser, main
 
 
 class TestParser:
@@ -17,11 +20,26 @@ class TestParser:
         assert args.lp_parallelism == 0
         assert args.cache is None
         assert args.json is None
+        assert args.artifacts is None
 
     def test_unknown_machine_rejected(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--machine", "pentium"])
         assert "invalid choice" in capsys.readouterr().err
+
+    def test_subcommand_defaults(self):
+        args = build_command_parser().parse_args(
+            ["predict", "--artifacts", "arts"]
+        )
+        assert args.command == "predict"
+        assert args.suite == "spec"
+        assert args.blocks == 200
+        assert args.limit == 10
+
+    def test_characterize_requires_artifacts(self, capsys):
+        with pytest.raises(SystemExit):
+            build_command_parser().parse_args(["characterize"])
+        assert "--artifacts" in capsys.readouterr().err
 
 
 class TestMain:
@@ -46,3 +64,101 @@ class TestMain:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert '"stats"' in output
+
+
+class TestArtifactWorkflow:
+    """characterize -> predict/evaluate round trips through the registry."""
+
+    @pytest.fixture(scope="class")
+    def characterized(self, tmp_path_factory):
+        registry_dir = tmp_path_factory.mktemp("artifacts")
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast", "--artifacts", str(registry_dir)]
+        )
+        assert exit_code == 0
+        return registry_dir
+
+    def test_characterize_saves_artifact(self, characterized, capsys):
+        artifacts = list(characterized.glob("mapping-*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["machine_name"]
+        assert payload["mapping"]["resources"]
+        assert payload["stats"]["num_instructions_mapped"] > 0
+
+    def test_predict_serves_from_artifact(self, characterized, tmp_path, capsys):
+        json_path = tmp_path / "predictions.json"
+        exit_code = main(
+            [
+                "predict",
+                "--machine", "toy",
+                "--artifacts", str(characterized),
+                "--suite", "spec",
+                "--blocks", "25",
+                "--limit", "3",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Served 25 blocks" in output
+
+        payload = json.loads(json_path.read_text())
+        assert len(payload["predictions"]) == 25
+        assert all(entry["ipc"] is not None for entry in payload["predictions"])
+
+    def test_predict_without_artifact_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["predict", "--machine", "toy", "--artifacts", str(tmp_path / "none")]
+        )
+        assert exit_code == 1
+        assert "characterize" in capsys.readouterr().err
+
+    def test_evaluate_reproduces_metrics_in_fresh_process(
+        self, characterized, tmp_path
+    ):
+        """The acceptance round trip: ``evaluate`` in a *fresh process*
+        reproduces the Fig. 4b metrics computed in-process from the saved
+        artifact, with no inference re-run."""
+        json_path = tmp_path / "metrics.json"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "evaluate",
+                "--machine", "toy",
+                "--artifacts", str(characterized),
+                "--suite", "spec",
+                "--blocks", "40",
+                "--json", str(json_path),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "no inference re-run" in completed.stdout
+        payload = json.loads(json_path.read_text())
+
+        # Reference: the same evaluation computed in this process, straight
+        # from the saved artifact.
+        from repro import PortModelBackend, build_machine
+        from repro.artifacts import ArtifactRegistry
+        from repro.evaluation import evaluate_predictors
+        from repro.predictors import PalmedPredictor
+        from repro.workloads import generate_spec_like_suite
+
+        machine = build_machine("toy")
+        artifact = ArtifactRegistry(characterized).load_for_machine(machine)
+        suite = generate_spec_like_suite(machine.instructions, n_blocks=40, seed=0)
+        evaluation = evaluate_predictors(
+            PortModelBackend(machine), suite, [PalmedPredictor(artifact.mapping)],
+            machine_name=machine.name,
+        )
+        expected = evaluation.metrics("Palmed")
+        got = payload["metrics"]["Palmed"]
+        assert got["coverage_percent"] == 100.0 * expected.coverage
+        assert got["rms_error_percent"] == 100.0 * expected.rms_error
+        assert got["kendall_tau"] == expected.kendall_tau

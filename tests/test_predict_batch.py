@@ -1,0 +1,226 @@
+"""Differential suite: ``predict_batch`` is bitwise-equal to scalar ``predict``.
+
+The batch-prediction engine (:mod:`repro.predictors.batch`) carries the
+same contract as the batched measurement layer: however a suite is
+scheduled — scalar loop, on-the-fly lowering, pre-built
+:class:`~repro.predictors.batch.SuiteMatrix` — the returned predictions
+must be bitwise-identical floats.  These tests pin that down on random
+kernels for every predictor family, plus the engine's structural
+invariants (ρ matrix, suite lowering, edge cases).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro import Microkernel, PortModelBackend
+from repro.predictors import (
+    LlvmMcaPredictor,
+    MappingMatrix,
+    PalmedPredictor,
+    PMEvoConfig,
+    SuiteMatrix,
+    UopsInfoPredictor,
+    predict_batch_serial,
+    train_pmevo,
+)
+from repro.workloads import generate_spec_like_suite
+
+
+def bits(value):
+    """Exact bit pattern of a float (distinguishes 0.0 from -0.0, etc.)."""
+    return struct.pack("<d", value)
+
+
+def assert_bitwise_equal(left, right):
+    assert len(left) == len(right)
+    for index, (a, b) in enumerate(zip(left, right)):
+        assert (a.ipc is None) == (b.ipc is None), f"kernel {index}: {a} vs {b}"
+        if a.ipc is not None:
+            assert bits(a.ipc) == bits(b.ipc), f"kernel {index}: ipc bits differ"
+        assert bits(a.supported_fraction) == bits(b.supported_fraction), (
+            f"kernel {index}: fraction bits differ"
+        )
+
+
+def random_kernels(instructions, n, seed, max_distinct=12):
+    """Random kernels with fractional multiplicities (the paper rounds to 5%)."""
+    rng = random.Random(seed)
+    kernels = []
+    for _ in range(n):
+        distinct = rng.randint(1, min(max_distinct, len(instructions)))
+        chosen = rng.sample(list(instructions), distinct)
+        kernels.append(
+            Microkernel(
+                {
+                    inst: rng.choice([0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 7.0])
+                    for inst in chosen
+                }
+            )
+        )
+    return kernels
+
+
+@pytest.fixture(scope="module")
+def skl_kernels(small_skl_machine):
+    return random_kernels(small_skl_machine.benchmarkable_instructions(), 300, seed=11)
+
+
+class TestDifferentialBitwise:
+    def test_palmed_predictor(self, small_skl_machine, skl_kernels):
+        predictor = PalmedPredictor(
+            small_skl_machine.true_conjunctive(include_front_end=True)
+        )
+        scalar = [predictor.predict(kernel) for kernel in skl_kernels]
+        assert_bitwise_equal(scalar, predictor.predict_batch(skl_kernels))
+        assert_bitwise_equal(scalar, predictor.predict_batch(SuiteMatrix(skl_kernels)))
+
+    def test_palmed_predictor_partial_coverage(self, small_skl_machine, skl_kernels):
+        """Kernels with unmapped instructions: fractions and None cases match."""
+        instructions = small_skl_machine.benchmarkable_instructions()
+        mapping = small_skl_machine.true_conjunctive(include_front_end=True)
+        predictor = PalmedPredictor(mapping.restricted(instructions[: len(instructions) // 3]))
+        scalar = [predictor.predict(kernel) for kernel in skl_kernels]
+        assert any(p.ipc is None for p in scalar), "want some unsupported kernels"
+        assert any(0 < p.supported_fraction < 1 for p in scalar)
+        assert_bitwise_equal(scalar, predictor.predict_batch(skl_kernels))
+
+    def test_uops_info_predictor(self, small_skl_machine, skl_kernels):
+        predictor = UopsInfoPredictor(
+            small_skl_machine,
+            supported_instructions=small_skl_machine.benchmarkable_instructions()[:30],
+        )
+        scalar = [predictor.predict(kernel) for kernel in skl_kernels]
+        assert_bitwise_equal(scalar, predictor.predict_batch(skl_kernels))
+
+    def test_serial_fallback_predictors(self, small_skl_machine, skl_kernels):
+        """Expert analyzers use the generic loop — trivially identical."""
+        predictor = LlvmMcaPredictor(small_skl_machine, unsupported_rate=0.2)
+        scalar = [predictor.predict(kernel) for kernel in skl_kernels]
+        assert_bitwise_equal(scalar, predictor.predict_batch(skl_kernels))
+        assert_bitwise_equal(scalar, predict_batch_serial(predictor, skl_kernels))
+
+    def test_pmevo_predictor(self, toy_machine, skl_kernels):
+        backend = PortModelBackend(toy_machine)
+        config = PMEvoConfig(
+            num_ports=3, population_size=20, generations=5, coverage_fraction=0.5, seed=0
+        )
+        predictor = train_pmevo(backend, toy_machine.benchmarkable_instructions(), config)
+        kernels = random_kernels(toy_machine.benchmarkable_instructions(), 100, seed=3)
+        scalar = [predictor.predict(kernel) for kernel in kernels]
+        assert_bitwise_equal(scalar, predictor.predict_batch(kernels))
+
+    def test_generated_suite(self, small_skl_machine):
+        """The real workload shape: a generated SPEC-like suite."""
+        suite = generate_spec_like_suite(
+            small_skl_machine.instructions, n_blocks=200, seed=5
+        )
+        kernels = [block.kernel for block in suite]
+        predictor = PalmedPredictor(
+            small_skl_machine.true_conjunctive(include_front_end=True)
+        )
+        scalar = [predictor.predict(kernel) for kernel in kernels]
+        assert_bitwise_equal(scalar, predictor.predict_batch(SuiteMatrix(kernels)))
+
+    def test_batch_independence(self, small_skl_machine, skl_kernels):
+        """Results must not depend on which kernels share a batch."""
+        predictor = PalmedPredictor(
+            small_skl_machine.true_conjunctive(include_front_end=True)
+        )
+        whole = predictor.predict_batch(skl_kernels)
+        halves = predictor.predict_batch(
+            skl_kernels[: len(skl_kernels) // 2]
+        ) + predictor.predict_batch(skl_kernels[len(skl_kernels) // 2 :])
+        singles = [predictor.predict_batch([kernel])[0] for kernel in skl_kernels]
+        assert_bitwise_equal(whole, halves)
+        assert_bitwise_equal(whole, singles)
+
+
+class TestSuiteMatrix:
+    def test_is_a_sequence_of_its_kernels(self, skl_kernels):
+        lowered = SuiteMatrix(skl_kernels)
+        assert len(lowered) == len(skl_kernels)
+        assert list(lowered) == skl_kernels
+        assert lowered[0] is skl_kernels[0]
+
+    def test_coo_matches_kernel_counts(self, skl_kernels):
+        lowered = SuiteMatrix(skl_kernels)
+        assert lowered.kernel_ids.shape == lowered.counts.shape
+        # Rebuild kernel 0's counts from the triplets.
+        first = {
+            lowered.instructions[col]: count
+            for k, col, count in zip(
+                lowered.kernel_ids, lowered.column_ids, lowered.counts
+            )
+            if k == 0
+        }
+        assert first == skl_kernels[0].counts
+
+    def test_sizes_match(self, skl_kernels):
+        lowered = SuiteMatrix(skl_kernels)
+        for size, kernel in zip(lowered.sizes, skl_kernels):
+            assert bits(float(size)) == bits(kernel.size)
+
+    def test_empty_suite(self):
+        lowered = SuiteMatrix([])
+        assert lowered.num_kernels == 0
+        assert lowered.counts.size == 0
+
+
+class TestMappingMatrix:
+    def test_rho_matrix_matches_mapping(self, toy_machine):
+        mapping = toy_machine.true_conjunctive(include_front_end=True)
+        matrix = MappingMatrix(mapping)
+        rho = matrix.rho_matrix()
+        assert rho.shape == (len(matrix.resources), len(matrix.instructions))
+        for col, instruction in enumerate(matrix.instructions):
+            for row, resource in enumerate(matrix.resources):
+                assert rho[row, col] == pytest.approx(
+                    mapping.rho(instruction, resource)
+                )
+
+    def test_loads_equal_rho_times_counts(self, toy_machine):
+        """The lowering really is the matrix form of Definition IV.2."""
+        mapping = toy_machine.true_conjunctive(include_front_end=True)
+        matrix = MappingMatrix(mapping)
+        kernels = random_kernels(toy_machine.benchmarkable_instructions(), 50, seed=9)
+        rho = matrix.rho_matrix()
+        column = {inst: i for i, inst in enumerate(matrix.instructions)}
+        for kernel in kernels:
+            counts = np.zeros(len(matrix.instructions))
+            for inst, count in kernel.items():
+                counts[column[inst]] = count
+            loads = rho @ counts
+            assert float(loads.max()) == pytest.approx(mapping.cycles(kernel))
+
+    def test_supported_restriction(self, toy_machine):
+        mapping = toy_machine.true_conjunctive(include_front_end=True)
+        allowed = toy_machine.benchmarkable_instructions()[:2]
+        matrix = MappingMatrix(mapping, supported=allowed)
+        assert set(matrix.instructions) == set(allowed)
+        other = toy_machine.benchmarkable_instructions()[2]
+        assert not matrix.supports(other)
+
+    def test_empty_batch(self, toy_machine):
+        matrix = MappingMatrix(toy_machine.true_conjunctive())
+        assert matrix.predict_batch([]) == []
+
+    def test_fully_unsupported_batch(self, toy_machine, small_skl_machine):
+        """Kernels whose instructions the mapping has never seen."""
+        matrix = MappingMatrix(toy_machine.true_conjunctive())
+        foreign = random_kernels(
+            [
+                inst
+                for inst in small_skl_machine.benchmarkable_instructions()
+                if not matrix.supports(inst)
+            ][:10],
+            20,
+            seed=2,
+        )
+        for prediction in matrix.predict_batch(foreign):
+            assert prediction.ipc is None
+            assert prediction.supported_fraction == 0.0
