@@ -1,0 +1,115 @@
+"""Resume speedup — cold characterization vs warm stage-graph resume.
+
+The stage-graph checkpoints (:mod:`repro.pipeline`) turn an interrupted or
+re-configured characterization from a restart-from-zero into an
+incremental recomputation.  This bench measures the headline win in the
+real-hardware regime (every microbenchmark costs wall-clock time, via the
+``measurement_latency`` knob): a cold run against a run where only the
+*last* stage was invalidated — every measurement and every LP solve of
+the four upstream stages is served from checkpoints.
+
+Expectation (asserted): the warm resume is at least 3x faster than the
+cold run, with a bitwise-identical mapping and deterministic statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro import PortModelBackend, build_toy_machine
+from repro.artifacts import ArtifactRegistry
+from repro.palmed import Palmed, PalmedConfig
+
+from conftest import write_result
+
+#: Simulated per-microbenchmark cost: the real-hardware regime where
+#: benchmarking dominates the wall clock (Table II).
+MEASUREMENT_LATENCY = 0.02
+
+
+def resume_config() -> PalmedConfig:
+    return PalmedConfig().for_fast_tests()
+
+
+def _characterize(registry, resume, force_stages=()):
+    machine = build_toy_machine()
+    backend = PortModelBackend(machine, measurement_latency=MEASUREMENT_LATENCY)
+    palmed = Palmed(
+        backend,
+        machine.benchmarkable_instructions(),
+        resume_config(),
+        registry=registry,
+        resume=resume,
+        force_stages=force_stages,
+    )
+    start = time.monotonic()
+    result = palmed.run()
+    elapsed = time.monotonic() - start
+    return result, elapsed, backend.measurement_count
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(tmp_path_factory):
+    registry = ArtifactRegistry(tmp_path_factory.mktemp("resume-bench"))
+    cold, cold_time, cold_measured = _characterize(registry, resume=False)
+    # Invalidate only the last stage: the paper's "tweak the assembly step,
+    # keep the measurements" scenario (e.g. a new edge threshold would do
+    # the same through the content hash).
+    warm, warm_time, warm_measured = _characterize(
+        registry, resume=True, force_stages=("finalize",)
+    )
+    return {
+        "cold": (cold, cold_time, cold_measured),
+        "warm": (warm, warm_time, warm_measured),
+        "registry": registry,
+    }
+
+
+def test_resume_speedup_report(cold_and_warm, benchmark):
+    """Record cold vs warm-resume wall clock under benchmarks/results/."""
+    cold, cold_time, cold_measured = cold_and_warm["cold"]
+    warm, warm_time, warm_measured = cold_and_warm["warm"]
+    registry = cold_and_warm["registry"]
+
+    # Benchmark the steady-state warm path (fresh backend each round).
+    def warm_resume():
+        return _characterize(registry, resume=True, force_stages=("finalize",))
+
+    _, bench_warm_time, _ = benchmark(warm_resume)
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    lines = [
+        "=== Stage-graph resume speedup (toy machine, "
+        f"{MEASUREMENT_LATENCY * 1000:.0f} ms per microbenchmark) ===",
+        "",
+        "scenario                          wall (s)   backend measurements",
+        f"cold characterization             {cold_time:8.2f}   {cold_measured:8d}",
+        f"warm resume (finalize forced)     {warm_time:8.2f}   {warm_measured:8d}",
+        "",
+        f"speedup: {speedup:.1f}x (criterion: >= 3x)",
+        "mapping bitwise-identical: "
+        f"{warm.mapping.to_json() == cold.mapping.to_json()}",
+    ]
+    write_result("resume_speedup.txt", "\n".join(lines))
+
+    assert warm.mapping.to_json() == cold.mapping.to_json()
+    assert warm.stats.deterministic_dict() == cold.stats.deterministic_dict()
+
+
+def test_warm_resume_measures_nothing(cold_and_warm):
+    """The forced finalize stage re-measures no microbenchmark."""
+    _, _, warm_measured = cold_and_warm["warm"]
+    assert warm_measured == 0
+
+
+def test_resume_speedup_meets_criterion(cold_and_warm):
+    """Warm resume >= 3x faster when only the last stage is invalidated."""
+    _, cold_time, _ = cold_and_warm["cold"]
+    _, warm_time, _ = cold_and_warm["warm"]
+    assert cold_time >= 3.0 * warm_time, (
+        f"cold {cold_time:.2f}s vs warm {warm_time:.2f}s "
+        f"({cold_time / max(warm_time, 1e-9):.1f}x < 3x)"
+    )

@@ -138,3 +138,38 @@ def spec_suite(bench_isa):
 @pytest.fixture(scope="session")
 def polybench_suite(bench_isa):
     return generate_polybench_like_suite(bench_isa, seed=0, bookkeeping_blocks=20)
+
+
+@pytest.fixture(scope="session")
+def all_evaluations(
+    skl_backend, zen_backend, skl_predictors, zen_predictors, spec_suite, polybench_suite
+):
+    """Every (machine, suite) evaluation, computed once per session.
+
+    Shared by the Fig. 4a and Fig. 4b benches (and anything else comparing
+    tools) so that the two files see *identical* evaluation objects no
+    matter which of them runs first, or whether they run in the same
+    session at all — the assertions are order-independent by construction.
+    """
+    from repro.evaluation import evaluate_predictors
+
+    evaluations = {}
+    evaluations[("SKL-SP", "SPEC2017")] = evaluate_predictors(
+        skl_backend, spec_suite, skl_predictors, machine_name="SKL-like"
+    )
+    evaluations[("SKL-SP", "Polybench")] = evaluate_predictors(
+        skl_backend, polybench_suite, skl_predictors, machine_name="SKL-like"
+    )
+    evaluations[("ZEN1", "SPEC2017")] = evaluate_predictors(
+        zen_backend, spec_suite, zen_predictors, machine_name="ZEN1-like"
+    )
+    evaluations[("ZEN1", "Polybench")] = evaluate_predictors(
+        zen_backend, polybench_suite, zen_predictors, machine_name="ZEN1-like"
+    )
+    return evaluations
+
+
+@pytest.fixture(scope="session")
+def skl_spec_evaluation(all_evaluations):
+    """The SKL/SPEC-like evaluation (the Fig. 4a input)."""
+    return all_evaluations[("SKL-SP", "SPEC2017")]

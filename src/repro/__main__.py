@@ -5,17 +5,24 @@ three subcommands sharing a mapping-artifact registry
 (:mod:`repro.artifacts`):
 
 ``characterize``
-    Run the full PALMED pipeline on a bundled ground-truth machine, print
-    the Table II statistics and (with ``--artifacts``) save the inferred
-    mapping keyed by the machine's content fingerprint.
+    Run the PALMED stage graph on a bundled ground-truth machine, print
+    the Table II statistics and (with ``--artifacts``) persist both the
+    per-stage checkpoints and the inferred mapping keyed by the machine's
+    content fingerprint.  ``--resume`` skips every stage whose inputs
+    match a stored checkpoint, ``--force-stage`` re-runs a named stage,
+    and ``--explain`` prints the per-stage hit/miss + timing table.
 ``predict``
     Load the saved mapping for the machine and serve batched throughput
     predictions for a synthetic benchmark suite — no inference, just the
     closed formula over the vectorized engine.
 ``evaluate``
-    Load the saved mapping and reproduce the Fig. 4b accuracy metrics
+    Load the saved mapping (or, when no artifact was exported, the
+    finalize-stage checkpoint) and reproduce the Fig. 4b accuracy metrics
     (coverage, weighted RMS error, Kendall's τ) against native execution,
     again without re-running the inference.
+``fleet``
+    Characterize several machines concurrently: whole stage graphs fanned
+    over worker processes into one shared registry.
 
 Invoking ``python -m repro`` without a subcommand keeps the historical
 behaviour (a characterization run without artifact persistence).
@@ -27,6 +34,17 @@ Characterize the toy machine and store the mapping, then serve from it::
     python -m repro characterize --machine toy --artifacts artifacts/
     python -m repro predict  --machine toy --artifacts artifacts/ --suite spec
     python -m repro evaluate --machine toy --artifacts artifacts/ --suite spec
+
+Interrupt-and-resume: the second invocation re-runs only the stages the
+first one never reached (everything else is served from checkpoints)::
+
+    python -m repro characterize --machine skl --artifacts artifacts/   # ^C
+    python -m repro characterize --machine skl --artifacts artifacts/ \\
+        --resume --explain
+
+Characterize a two-machine fleet over two workers::
+
+    python -m repro fleet --machines toy,skl --workers 2 --artifacts artifacts/
 
 A Skylake-like machine with a 48-instruction ISA, 4 measurement workers,
 4 LP workers and a persistent measurement cache, dumping stats as JSON::
@@ -49,7 +67,7 @@ from repro.machines import available_machines
 from repro.palmed import Palmed, PalmedConfig
 
 #: Subcommand names; anything else falls back to the legacy flag-only CLI.
-_COMMANDS = ("characterize", "predict", "evaluate")
+_COMMANDS = ("characterize", "predict", "evaluate", "fleet")
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -157,6 +175,26 @@ def _add_characterize_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also print the inferred instruction -> resource usage table",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve stages from matching checkpoints in the --artifacts "
+        "registry instead of re-running them (requires --artifacts)",
+    )
+    parser.add_argument(
+        "--force-stage",
+        metavar="STAGE",
+        action="append",
+        default=[],
+        help="re-run this stage even when a matching checkpoint exists "
+        "(repeatable; downstream checkpoints stay valid when the re-run "
+        "reproduces the same output)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-stage checkpoint hit/miss and timing table",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,20 +228,41 @@ def _run_characterize(args: argparse.Namespace) -> int:
         cache_path=args.cache,
     )
 
+    registry = None
+    if args.artifacts is not None:
+        from repro.artifacts import ArtifactRegistry
+
+        registry = ArtifactRegistry(args.artifacts)
+    if (args.resume or args.force_stage) and registry is None:
+        print(
+            "error: --resume/--force-stage need a checkpoint registry; "
+            "pass --artifacts DIR",
+            file=sys.stderr,
+        )
+        return 2
+
     machine = _build_machine(args)
     backend = PortModelBackend(machine)
-    palmed = Palmed(backend, machine.benchmarkable_instructions(), config)
+    palmed = Palmed(
+        backend,
+        machine.benchmarkable_instructions(),
+        config,
+        registry=registry,
+        resume=args.resume,
+        force_stages=args.force_stage,
+    )
     result = palmed.run()
 
+    if args.explain:
+        print(palmed.explain())
+        print()
     print(result.stats.format_table())
     if args.show_mapping:
         print()
         print(result.mapping.table())
 
-    if args.artifacts is not None:
-        from repro.artifacts import ArtifactRegistry
-
-        path = ArtifactRegistry(args.artifacts).save_result(result, machine)
+    if registry is not None:
+        path = registry.save_result(result, machine)
         print(f"\nMapping artifact saved to {path}")
 
     _write_json(
@@ -278,43 +337,114 @@ def _run_predict(args: argparse.Namespace) -> int:
 
 
 def _run_evaluate(args: argparse.Namespace) -> int:
-    from repro.artifacts import ArtifactError
+    from repro.artifacts import ArtifactError, ArtifactNotFoundError, ArtifactRegistry
     from repro.evaluation import evaluate_predictors, format_accuracy_table
-    from repro.measure import MeasurementCache
+    from repro.measure import MeasurementCache, backend_fingerprint
     from repro.predictors import PalmedPredictor
 
     machine = _build_machine(args)
+    backend = PortModelBackend(machine)
+    from repro.measure.fingerprint import machine_fingerprint
+
+    fingerprint = machine_fingerprint(machine)
     try:
         artifact = _load_artifact(args, machine)
+        mapping = artifact.mapping
+        source = f"saved artifact {artifact.machine_fingerprint[:16]}…"
+    except ArtifactNotFoundError:
+        # No exported artifact — fall back to the finalize-stage checkpoint
+        # left behind by a (possibly resumed) characterization, so the
+        # harness consumes the pipeline's own checkpoints instead of
+        # requiring a re-run.
+        from repro.pipeline import load_final_outcome
+
+        registry = ArtifactRegistry(args.artifacts)
+        final = load_final_outcome(registry, backend_fingerprint(backend))
+        if final is None:
+            print(
+                f"error: no mapping artifact and no finalize-stage checkpoint "
+                f"for machine {machine.name!r} under {args.artifacts} — run "
+                f"the characterization first (python -m repro characterize)",
+                file=sys.stderr,
+            )
+            return 1
+        mapping = final.mapping
+        source = "finalize-stage checkpoint"
     except ArtifactError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
     suite = _build_suite(args, machine)
-    backend = PortModelBackend(machine)
     cache = MeasurementCache(args.cache) if args.cache else None
     evaluation = evaluate_predictors(
         backend,
         suite,
-        [PalmedPredictor(artifact.mapping)],
+        [PalmedPredictor(mapping)],
         machine_name=machine.name,
         workers=args.workers,
         cache=cache,
     )
-    print(
-        f"Fig. 4b metrics from saved artifact {artifact.machine_fingerprint[:16]}… "
-        f"(no inference re-run)"
-    )
+    print(f"Fig. 4b metrics from {source} (no inference re-run)")
     print(format_accuracy_table([evaluation]))
 
     _write_json(
         {
             "machine": machine.name,
-            "machine_fingerprint": artifact.machine_fingerprint,
+            "machine_fingerprint": fingerprint,
             "suite": suite.name,
             "metrics": {
                 metrics.tool: metrics.as_row() for metrics in evaluation.all_metrics()
             },
+        },
+        args.json,
+    )
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    """Characterize several machines concurrently into one registry."""
+    from repro.pipeline import FleetMachine, FleetRunner
+
+    config = PalmedConfig().for_fast_tests() if args.fast else PalmedConfig()
+    specs = [
+        FleetMachine(machine=name.strip(), isa_size=args.isa_size, seed=args.seed)
+        for name in args.machines.split(",")
+        if name.strip()
+    ]
+    if not specs:
+        print("error: --machines needs at least one machine name", file=sys.stderr)
+        return 2
+    unknown = [spec.machine for spec in specs if spec.machine not in available_machines()]
+    if unknown:
+        print(
+            f"error: unknown machine(s) {', '.join(unknown)}; available: "
+            f"{', '.join(sorted(available_machines()))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = FleetRunner(
+        args.artifacts, config, workers=args.workers, resume=not args.no_resume
+    )
+    outcomes = runner.characterize(specs)
+    print(
+        f"Characterized {len(outcomes)} machine(s) with {args.workers or 1} "
+        f"worker(s) into {args.artifacts}"
+    )
+    print(FleetRunner.format_table(outcomes))
+
+    _write_json(
+        {
+            "machines": [
+                {
+                    "machine": outcome.machine_name,
+                    "fingerprint": outcome.machine_fingerprint,
+                    "artifact": outcome.artifact_path,
+                    "checkpoint_hits": outcome.checkpoint_hits,
+                    "stats": outcome.stats.to_dict(),
+                }
+                for outcome in outcomes
+            ],
         },
         args.json,
     )
@@ -384,6 +514,46 @@ def build_command_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--json", metavar="PATH", default=None)
     evaluate.set_defaults(handler=_run_evaluate)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="characterize several machines concurrently into one registry",
+    )
+    fleet.add_argument(
+        "--machines",
+        required=True,
+        help="comma-separated machine names (e.g. 'toy,skl,zen')",
+    )
+    fleet.add_argument(
+        "--isa-size",
+        type=int,
+        default=48,
+        help="synthetic ISA size for the non-toy machines (default: 48)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0, help="ISA generation seed (default: 0)"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="machine-level worker processes (0 = sequential, the default)",
+    )
+    fleet.add_argument(
+        "--artifacts", metavar="DIR", required=True, help="registry directory"
+    )
+    fleet.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the cheap test configuration (smaller LPs, tighter caps)",
+    )
+    fleet.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing stage checkpoints (default: resume from them)",
+    )
+    fleet.add_argument("--json", metavar="PATH", default=None)
+    fleet.set_defaults(handler=_run_fleet)
 
     return parser
 

@@ -11,18 +11,24 @@ the workflow behind ``python -m repro characterize`` / ``predict`` /
 
 from repro.artifacts.registry import (
     ARTIFACT_FORMAT_VERSION,
+    CHECKPOINT_FORMAT_VERSION,
     ArtifactError,
     ArtifactNotFoundError,
     ArtifactRegistry,
     FingerprintMismatchError,
     MappingArtifact,
+    StageCheckpoint,
+    payload_hash,
 )
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "CHECKPOINT_FORMAT_VERSION",
     "ArtifactError",
     "ArtifactNotFoundError",
     "ArtifactRegistry",
     "FingerprintMismatchError",
     "MappingArtifact",
+    "StageCheckpoint",
+    "payload_hash",
 ]

@@ -28,6 +28,7 @@ that drive it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -44,6 +45,40 @@ from repro.palmed.result import PalmedResult, PalmedStats
 #: Version of the artifact JSON envelope.  Bumped on incompatible layout
 #: changes; loaders refuse envelopes they do not understand.
 ARTIFACT_FORMAT_VERSION = 1
+
+#: Version of the per-stage checkpoint envelope (see :class:`StageCheckpoint`).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def payload_hash(payload: Mapping[str, object]) -> str:
+    """Content hash of a serialized stage payload (canonical JSON).
+
+    The reserved top-level ``_nondeterministic`` key — wall clocks and
+    other run-environment values that do not influence any downstream
+    result — is excluded, so a stage re-run that reproduces the same
+    semantic output hashes identically and downstream checkpoints stay
+    valid even though the new run's timings differ.
+    """
+    hashable = {key: value for key, value in payload.items() if key != "_nondeterministic"}
+    canonical = json.dumps(hashable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(directory: Path, path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tempfile + rename)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(directory), prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 class ArtifactError(RuntimeError):
@@ -125,6 +160,66 @@ class MappingArtifact:
         return cls.from_dict(json.loads(text))
 
 
+@dataclass
+class StageCheckpoint:
+    """A persisted stage output of the PALMED stage graph.
+
+    One checkpoint stores everything needed to *skip* the stage on a later
+    run: the serialized stage output (``payload``, from which the stage
+    also re-warms the benchmark-runner memo so downstream live stages are
+    served exactly as on the original run) and the stage's run record
+    (wall clock + benchmark-counter deltas, so resumed runs report the
+    same Table II statistics as the run that produced the checkpoint).
+
+    Checkpoints are keyed by ``(machine_fingerprint, stage, input_hash)``
+    where ``input_hash`` covers the upstream stage outputs, the
+    configuration fields the stage reads and the machine fingerprint — see
+    :mod:`repro.pipeline.stage`.  ``output_hash`` is the content hash of
+    ``payload`` (:func:`payload_hash`), verified on load and chained into
+    downstream stages' input hashes.
+    """
+
+    stage: str
+    machine_fingerprint: str
+    input_hash: str
+    output_hash: str
+    payload: Dict[str, object]
+    record: Dict[str, object] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+    format_version: int = CHECKPOINT_FORMAT_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format_version": self.format_version,
+            "stage": self.stage,
+            "machine_fingerprint": self.machine_fingerprint,
+            "input_hash": self.input_hash,
+            "output_hash": self.output_hash,
+            "payload": self.payload,
+            "record": self.record,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StageCheckpoint":
+        version = payload.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"unsupported stage-checkpoint format version {version!r} "
+                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            )
+        return cls(
+            stage=str(payload["stage"]),
+            machine_fingerprint=str(payload["machine_fingerprint"]),
+            input_hash=str(payload["input_hash"]),
+            output_hash=str(payload["output_hash"]),
+            payload=dict(payload["payload"]),
+            record=dict(payload.get("record", {})),
+            created_at=float(payload.get("created_at", 0.0)),
+            format_version=int(version),
+        )
+
+
 class ArtifactRegistry:
     """A directory of mapping artifacts keyed by machine fingerprint.
 
@@ -156,22 +251,8 @@ class ArtifactRegistry:
     # -- save ----------------------------------------------------------------
     def save(self, artifact: MappingArtifact) -> Path:
         """Atomically persist an artifact under its machine fingerprint."""
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(artifact.machine_fingerprint)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(artifact.to_json() + "\n")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return _atomic_write(self.root, path, artifact.to_json() + "\n")
 
     def save_result(self, result: PalmedResult, machine: Machine) -> Path:
         """Convenience: wrap a PALMED result into an artifact and save it."""
@@ -218,6 +299,106 @@ class ArtifactRegistry:
     def load_for_machine(self, machine: Machine) -> MappingArtifact:
         """Load the artifact matching a machine's *current* content fingerprint."""
         return self.load(machine_fingerprint(machine))
+
+    # -- stage checkpoints ---------------------------------------------------
+    def stage_dir(self, fingerprint: str) -> Path:
+        """Directory holding the per-stage checkpoints of one machine."""
+        return self.root / "stages" / fingerprint
+
+    def stage_path(self, fingerprint: str, stage: str, input_hash: str) -> Path:
+        """The file a stage checkpoint with this identity lives in."""
+        return self.stage_dir(fingerprint) / f"{stage}-{input_hash}.json"
+
+    def has_stage(self, fingerprint: str, stage: str, input_hash: str) -> bool:
+        return self.stage_path(fingerprint, stage, input_hash).exists()
+
+    def save_stage(self, checkpoint: StageCheckpoint) -> Path:
+        """Atomically persist a stage checkpoint under its identity triple."""
+        directory = self.stage_dir(checkpoint.machine_fingerprint)
+        path = self.stage_path(
+            checkpoint.machine_fingerprint, checkpoint.stage, checkpoint.input_hash
+        )
+        return _atomic_write(
+            directory,
+            path,
+            json.dumps(checkpoint.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def load_stage(
+        self, fingerprint: str, stage: str, input_hash: str
+    ) -> StageCheckpoint:
+        """Load and verify one stage checkpoint.
+
+        Raises
+        ------
+        ArtifactNotFoundError
+            No checkpoint under this (fingerprint, stage, input-hash) triple
+            — in particular whenever any upstream output or a configuration
+            field the stage reads changed, since either changes the hash.
+        FingerprintMismatchError
+            The stored checkpoint's embedded identity disagrees with the
+            requested one (hand-edited or misplaced file), or its payload
+            no longer matches its own ``output_hash`` (corrupted or edited
+            content).
+        """
+        path = self.stage_path(fingerprint, stage, input_hash)
+        if not path.exists():
+            raise ArtifactNotFoundError(
+                f"no {stage!r} checkpoint for input hash {input_hash[:16]}… "
+                f"under {self.stage_dir(fingerprint)}"
+            )
+        try:
+            checkpoint = StageCheckpoint.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise ArtifactError(f"unreadable stage checkpoint {path}: {error}") from error
+        if (
+            checkpoint.machine_fingerprint != fingerprint
+            or checkpoint.stage != stage
+            or checkpoint.input_hash != input_hash
+        ):
+            raise FingerprintMismatchError(
+                f"stage checkpoint {path} claims identity "
+                f"({checkpoint.stage}, {checkpoint.input_hash[:16]}…) but was "
+                f"requested as ({stage}, {input_hash[:16]}…); refusing"
+            )
+        if payload_hash(checkpoint.payload) != checkpoint.output_hash:
+            raise FingerprintMismatchError(
+                f"stage checkpoint {path} has a payload that no longer "
+                f"matches its recorded output hash "
+                f"{checkpoint.output_hash[:16]}…; refusing a corrupted or "
+                f"edited checkpoint"
+            )
+        return checkpoint
+
+    def delete_stage(self, fingerprint: str, stage: str) -> int:
+        """Delete every checkpoint of one stage; returns how many were removed."""
+        removed = 0
+        directory = self.stage_dir(fingerprint)
+        if directory.is_dir():
+            for path in directory.glob(f"{stage}-*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def stage_entries(self, fingerprint: str) -> List[StageCheckpoint]:
+        """Every loadable stage checkpoint of one machine, sorted by stage."""
+        checkpoints: List[StageCheckpoint] = []
+        directory = self.stage_dir(fingerprint)
+        if not directory.is_dir():
+            return checkpoints
+        for path in sorted(directory.glob("*.json")):
+            try:
+                checkpoints.append(
+                    StageCheckpoint.from_dict(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError, ArtifactError):
+                continue
+        checkpoints.sort(key=lambda cp: (cp.stage, cp.created_at))
+        return checkpoints
 
     # -- listing -------------------------------------------------------------
     def entries(self) -> List[MappingArtifact]:

@@ -14,8 +14,11 @@ resource mapping in three stages:
    LPAUX) — per remaining instruction, a small frozen-core weight problem
    over benchmarks that saturate each resource.
 
-:class:`Palmed` (in :mod:`repro.palmed.pipeline`) drives the three stages and
-returns a :class:`PalmedResult`.
+:class:`Palmed` (in :mod:`repro.palmed.pipeline`) drives the stages and
+returns a :class:`PalmedResult`.  It is a thin facade over the
+checkpointable stage graph of :mod:`repro.pipeline`, which adds per-stage
+persistence, content-hash invalidation, incremental resume and fleet
+orchestration on top of the algorithms implemented here.
 """
 
 from repro.palmed.config import PalmedConfig

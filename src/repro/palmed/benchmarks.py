@@ -26,7 +26,7 @@ bitwise-identical values.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.isa.instruction import Extension, Instruction
 from repro.mapping.microkernel import Microkernel
@@ -199,6 +199,21 @@ class BenchmarkRunner:
         consumes measurements one at a time.
         """
         self.ipc_batch(list(kernels))
+
+    def preload(self, measurements: Mapping[Microkernel, float]) -> None:
+        """Warm the memo with already-known measurements, without counting.
+
+        Used by the stage-graph executor (:mod:`repro.pipeline`) when a stage
+        is served from a checkpoint: the measurements that stage consumed on
+        its original run are replayed into the memo so later *live* stages
+        observe exactly the memo state a cold run would have left behind —
+        same values, and the same "distinct benchmarks" accounting (a kernel
+        replayed here was already counted by the stage that measured it, and
+        is not counted again).
+        """
+        for kernel, value in measurements.items():
+            self._ipc_cache.setdefault(kernel, float(value))
+            self._measured_ipc.setdefault(self._quantized(kernel), float(value))
 
     @property
     def num_benchmarks(self) -> int:

@@ -7,8 +7,10 @@ has a corresponding knob here so that the ablation benchmarks can vary them.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 
 @dataclass
@@ -140,6 +142,34 @@ class PalmedConfig:
         if self.m_repeat < 2 or self.l_repeat < 1:
             raise ValueError("m_repeat must be >= 2 and l_repeat >= 1")
 
+    def config_hash(self, fields: Optional[Sequence[str]] = None) -> str:
+        """Stable content hash over a subset of configuration fields.
+
+        The stage-graph checkpoints (:mod:`repro.pipeline`) key each stage on
+        the hash of *only the fields that stage declares it reads*, so editing
+        an unrelated knob (say ``lp_parallelism``) never invalidates a stored
+        benchmarking checkpoint.  ``fields=None`` hashes every field.
+
+        Values are serialized with ``repr`` (floats round-trip exactly) and
+        fields are hashed in sorted order, so the digest is independent of
+        declaration order and of how the config instance was produced.
+        """
+        known = {field.name for field in dataclasses.fields(self)}
+        if fields is None:
+            selected = sorted(known)
+        else:
+            unknown = set(fields) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown PalmedConfig fields: {', '.join(sorted(unknown))}"
+                )
+            selected = sorted(set(fields))
+        digest = hashlib.sha256()
+        for name in selected:
+            digest.update(f"{name}={getattr(self, name)!r}".encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
     @property
     def low_ipc_threshold(self) -> float:
         """IPC below which an instruction is not a basic-instruction candidate."""
@@ -152,13 +182,20 @@ class PalmedConfig:
         return max(2, min(num_classes, self.n_basic_cap))
 
     def for_fast_tests(self) -> "PalmedConfig":
-        """A cheaper configuration used by the unit-test suite."""
+        """A cheaper configuration used by the unit-test suite.
+
+        The time limits are headroom, not budgets: at this problem scale
+        every solve terminates by optimality well inside them, so results
+        do not depend on machine speed.  They are set high enough that a
+        loaded CI machine cannot clip an almost-finished solve into a
+        worse (and load-dependent) incumbent.
+        """
         return PalmedConfig(
             n_basic=None,
             n_basic_cap=10,
             max_resources=10,
             lp1_max_iterations=1,
-            lp1_time_limit=15.0,
+            lp1_time_limit=30.0,
             lp2_mode="exact",
-            milp_time_limit=30.0,
+            milp_time_limit=60.0,
         )

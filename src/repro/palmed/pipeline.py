@@ -1,43 +1,39 @@
 """The end-to-end PALMED driver (Fig. 3 of the paper).
 
-``Palmed`` chains the three stages — quadratic benchmarking + basic
-instruction selection, core mapping, complete mapping — over a measurement
-backend, and assembles the final conjunctive resource mapping together with
-the Table II statistics (number of benchmarks, resources found, instructions
-mapped, benchmarking vs. LP solving time).
+``Palmed`` is a thin facade over the stage graph of :mod:`repro.pipeline`:
+the four Fig. 3 stages (quadratic benchmarking, basic selection, core
+mapping, complete mapping) plus the final assembly run as explicit,
+individually-checkpointable stages, and this class only builds the shared
+:class:`~repro.pipeline.stage.StageContext`, executes the graph and wraps
+the stage outputs back into the historical :class:`PalmedResult`.
 
-All wall-clock accounting uses a monotonic clock (:func:`time.monotonic`),
-so the reported stage timings are immune to system clock adjustments.  The
-complete-mapping phase reports its measurement and LP halves separately, so
-``benchmarking_time`` vs ``lp_time`` reproduces the paper's Table II split
-faithfully (LPAUX *measurements* are benchmarking, not LP solving).
+Attach an :class:`~repro.artifacts.ArtifactRegistry` to persist each
+stage's output as a content-hashed checkpoint; pass ``resume=True`` to
+skip every stage whose inputs (upstream outputs + the config fields it
+reads + the machine fingerprint) match a stored checkpoint.  Resumed runs
+are bitwise-identical to cold runs — mapping and all deterministic
+statistics — and a fully-warm re-run executes zero measurement batches
+and zero LP solves (see ``tests/test_resume.py``).
 
-Both halves of the pipeline parallelize over the shared
-:class:`repro.runtime.ParallelRuntime` substrate: configure
-``PalmedConfig.parallelism`` to fan microbenchmark batches out over worker
-processes, ``PalmedConfig.lp_parallelism`` to fan the per-instruction LPAUX
-weight problems out, and ``PalmedConfig.cache_path`` to persist
-measurements across runs.  The statistics report how many benchmarks were
-measured versus served from the cache, plus the solver layer's
-model-build/solve split (template reuse shows as builds < solves).
+All wall-clock accounting uses a monotonic clock; ``benchmarking_time``
+vs ``lp_time`` keeps the paper's Table II split (LPAUX *measurements* are
+benchmarking, not LP solving).  Both halves of the pipeline parallelize
+over the shared :class:`repro.runtime.ParallelRuntime` substrate
+(``PalmedConfig.parallelism`` / ``lp_parallelism``), and
+``PalmedConfig.cache_path`` persists raw measurements across runs —
+neither knob affects inferred mappings or checkpoint validity.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.isa.instruction import Instruction
-from repro.mapping.conjunctive import ConjunctiveResourceMapping
-from repro.mapping.microkernel import Microkernel
 from repro.measure import MeasurementCache, ParallelDispatcher
-from repro.palmed.basic_selection import select_basic_instructions
 from repro.palmed.benchmarks import BenchmarkRunner
-from repro.palmed.complete_mapping import run_complete_mapping
 from repro.palmed.config import PalmedConfig
-from repro.palmed.core_mapping import CoreMappingResult, compute_core_mapping, resource_label
-from repro.palmed.quadratic import QuadraticBenchmarks
-from repro.palmed.result import PalmedResult, PalmedStats
+from repro.palmed.core_mapping import resource_label
+from repro.palmed.result import PalmedResult
 from repro.simulator.backend import MeasurementBackend
 
 
@@ -64,6 +60,18 @@ class Palmed:
     dispatcher:
         Measurement batch executor; ``None`` builds one sized by
         ``config.parallelism``.
+    registry:
+        Optional :class:`~repro.artifacts.ArtifactRegistry`: every stage
+        output is persisted as a content-hashed checkpoint.  ``None`` (the
+        historical behaviour) disables checkpointing entirely.
+    resume:
+        Serve stages from matching checkpoints in ``registry`` instead of
+        re-running them.  Requires ``registry``.
+    force_stages:
+        Stage names to re-run even when a matching checkpoint exists
+        (their checkpoints are overwritten; downstream stages still hit
+        when the re-run reproduces the same output, which it does unless
+        code or config changed).
     """
 
     def __init__(
@@ -74,6 +82,9 @@ class Palmed:
         machine_name: Optional[str] = None,
         cache: Optional[MeasurementCache] = None,
         dispatcher: Optional[ParallelDispatcher] = None,
+        registry: Optional["ArtifactRegistry"] = None,
+        resume: bool = False,
+        force_stages: Iterable[str] = (),
     ) -> None:
         self.backend = backend
         self.config = config if config is not None else PalmedConfig()
@@ -85,109 +96,72 @@ class Palmed:
             machine = getattr(backend, "machine", None)
             machine_name = getattr(machine, "name", "unknown-machine")
         self.machine_name = machine_name
+        if resume and registry is None:
+            raise ValueError("resume=True requires a checkpoint registry")
+        self.registry = registry
+        self.resume = resume
+        self.force_stages = tuple(force_stages)
+        #: The :class:`repro.pipeline.GraphRun` of the most recent
+        #: :meth:`run` call (per-stage hit/miss reports, ``format_explain``).
+        self.last_run: Optional["GraphRun"] = None
 
     # ------------------------------------------------------------------
-    def run(self) -> PalmedResult:
-        """Run the full pipeline and return the inferred mapping."""
-        start_total = time.monotonic()
+    def run(self, stop_after: Optional[str] = None) -> PalmedResult:
+        """Run the stage graph and return the inferred mapping.
 
-        benchmarkable = [inst for inst in self.instructions if inst.is_benchmarkable]
-        usable, discarded_slow = self._filter_by_ipc(benchmarkable)
+        ``stop_after`` interrupts the run once the named stage has been
+        checkpointed (raising
+        :class:`repro.pipeline.PipelineInterrupted`) — the crash-injection
+        hook of the resume test-suite.
+        """
+        from repro.pipeline import StageContext, StageGraph, palmed_stages
 
-        bench_start = time.monotonic()
-        quadratic = QuadraticBenchmarks(self.runner, usable)
-        selection = select_basic_instructions(quadratic, self.config)
-        benchmarking_time = time.monotonic() - bench_start
+        context = StageContext(
+            runner=self.runner,
+            config=self.config,
+            instructions=list(self.instructions),
+            machine_name=self.machine_name,
+        )
+        graph = StageGraph(palmed_stages())
+        run = graph.run(
+            context,
+            registry=self.registry,
+            resume=self.resume,
+            force=self.force_stages,
+            stop_after=stop_after,
+        )
+        self.last_run = run
 
-        core = compute_core_mapping(self.runner, selection, self.config)
+        final = run.outputs["finalize"]
+        stats = final.stats
+        # Per-run accounting: which stages this particular execution served
+        # from checkpoints, and every stage's canonical wall clock.  Both
+        # are run-local (excluded from the deterministic view).
+        stats.stage_wall_clock = {
+            name: record.wall_time for name, record in run.records.items()
+        }
+        stats.stage_checkpoint_hits = dict(run.checkpoint_hits)
 
-        lpaux = run_complete_mapping(self.runner, usable, core, self.config)
-
-        mapping = self._assemble_mapping(core, lpaux.mapped)
         # Persist whatever was measured, so the next run (another ablation,
         # the evaluation harness, a re-run with different LP settings) can
         # skip every benchmark measured here.
         self.runner.flush_cache()
-        total_time = time.monotonic() - start_total
 
-        lp_stats = core.solver_stats.copy().merge(lpaux.solver_stats)
-        stats = PalmedStats(
-            machine_name=self.machine_name,
-            num_instructions_total=len(self.instructions),
-            num_benchmarkable=len(benchmarkable),
-            num_instructions_mapped=len(mapping.instructions),
-            num_basic_instructions=len(selection.basic),
-            num_resources=core.num_resources,
-            num_benchmarks=self.runner.num_benchmarks,
-            num_equivalence_classes=selection.num_classes,
-            num_low_ipc=len(selection.low_ipc) + len(discarded_slow),
-            lp1_iterations=core.lp1_iterations,
-            # LPAUX's saturating-benchmark measurements are benchmarking
-            # work, not LP solving (Table II charges them to the former).
-            benchmarking_time=benchmarking_time + lpaux.measurement_time,
-            lp_time=core.lp_time + lpaux.solve_time,
-            total_time=total_time,
-            num_benchmarks_measured=self.runner.num_benchmarks_measured,
-            num_benchmarks_cached=self.runner.num_benchmarks_cached,
-            lp_solves=lp_stats.solves,
-            lp_model_builds=lp_stats.model_builds,
-            lp_build_time=lp_stats.build_time,
-            lp_solve_time=lp_stats.solve_time,
-        )
+        core = run.outputs["core"]
         saturating = {
             resource_label(index): kernel
             for index, kernel in core.saturating_kernels.items()
         }
         return PalmedResult(
-            mapping=mapping,
+            mapping=final.mapping,
             stats=stats,
-            selection=selection,
+            selection=run.outputs["selection"],
             core=core,
             saturating_kernels=saturating,
         )
 
-    # ------------------------------------------------------------------
-    def _filter_by_ipc(
-        self, instructions: Iterable[Instruction]
-    ) -> tuple[List[Instruction], List[Instruction]]:
-        """Drop instructions whose standalone IPC is below ``min_ipc``."""
-        instructions = list(instructions)
-        self.runner.prefetch(
-            Microkernel.single(instruction) for instruction in instructions
-        )
-        usable: List[Instruction] = []
-        discarded: List[Instruction] = []
-        for instruction in instructions:
-            if self.runner.ipc_single(instruction) < self.config.min_ipc:
-                discarded.append(instruction)
-            else:
-                usable.append(instruction)
-        return usable, discarded
-
-    def _assemble_mapping(
-        self,
-        core: CoreMappingResult,
-        remaining: Dict[Instruction, Dict[int, float]],
-    ) -> ConjunctiveResourceMapping:
-        """Merge core and LPAUX results into the final normalized mapping."""
-        resources = {resource_label(r): 1.0 for r in range(core.num_resources)}
-        usage: Dict[Instruction, Dict[str, float]] = {}
-        for instruction, weights in core.basic_rho.items():
-            usage[instruction] = {
-                resource_label(r): value
-                for r, value in weights.items()
-                if value >= self.config.edge_threshold
-            }
-        for instruction, weights in remaining.items():
-            usage[instruction] = {
-                resource_label(r): value
-                for r, value in weights.items()
-                if value >= self.config.edge_threshold
-            }
-        # Instructions whose inferred usage came out empty cannot be
-        # meaningfully predicted by the model: they are reported as
-        # *unmapped* (the paper's "instructions mapped" is likewise smaller
-        # than "instructions supported") rather than silently predicted with
-        # a near-infinite throughput.
-        usage = {instruction: uses for instruction, uses in usage.items() if uses}
-        return ConjunctiveResourceMapping(resources, usage)
+    def explain(self) -> str:
+        """Per-stage hit/miss and timing table of the most recent run."""
+        if self.last_run is None:
+            return "no pipeline run yet"
+        return self.last_run.format_explain()

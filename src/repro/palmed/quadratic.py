@@ -10,7 +10,7 @@ the instruction set to a small basic set before solving any LP.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,35 @@ class QuadraticBenchmarks:
         self._pair_ipc: Dict[Tuple[Instruction, Instruction], float] = {}
         self._unmeasurable: set = set()
         self._measure()
+
+    @classmethod
+    def from_measurements(
+        cls,
+        instructions: Sequence[Instruction],
+        single_ipc: Dict[Instruction, float],
+        pair_ipc: Dict[Tuple[Instruction, Instruction], float],
+        unmeasurable: Sequence[Tuple[Instruction, Instruction]] = (),
+        runner: Optional[BenchmarkRunner] = None,
+    ) -> "QuadraticBenchmarks":
+        """Rebuild the measurement table from already-known values.
+
+        Used by the stage-graph checkpoints (:mod:`repro.pipeline`) to
+        restore the quadratic-benchmarking stage without re-measuring: the
+        accessors then serve exactly the persisted values, so everything
+        downstream (clustering, disjointness, greediness) is bitwise
+        identical to the run that produced them.  ``runner`` is only needed
+        when the restored instance must still build kernels
+        (:meth:`pair_kernel`); it is not consulted for any IPC.
+        """
+        restored = cls.__new__(cls)
+        restored.runner = runner
+        restored.instructions = tuple(
+            sorted(set(instructions), key=lambda inst: inst.name)
+        )
+        restored._single_ipc = dict(single_ipc)
+        restored._pair_ipc = dict(pair_ipc)
+        restored._unmeasurable = set(unmeasurable)
+        return restored
 
     def _measure(self) -> None:
         """Measure all singles, then all pairs, as two batched sweeps.

@@ -34,6 +34,16 @@ class PalmedStats:
     across workers* (per-solve seconds summed, CPU-time-like): with
     ``lp_parallelism > 1`` they can legitimately exceed the ``lp_time``
     wall clock.
+
+    Stage-graph accounting (:mod:`repro.pipeline`): ``stage_wall_clock``
+    holds the per-stage wall clock — for a stage served from a checkpoint,
+    the wall clock of the run that *produced* the checkpoint, so a resumed
+    run reports the same stage costs as the run it continues —
+    and ``stage_checkpoint_hits`` records which stages this particular run
+    served from checkpoints.  The hit map (like every wall-clock field) is
+    run-local: :meth:`deterministic_dict` excludes both, and the
+    resume-correctness suite compares exactly that deterministic view
+    bitwise between cold and resumed runs.
     """
 
     machine_name: str
@@ -55,11 +65,48 @@ class PalmedStats:
     lp_model_builds: int = 0
     lp_build_time: float = 0.0
     lp_solve_time: float = 0.0
+    stage_wall_clock: Dict[str, float] = field(default_factory=dict)
+    stage_checkpoint_hits: Dict[str, bool] = field(default_factory=dict)
+
+    #: Fields that describe *when/where* the run happened rather than what
+    #: it computed: wall clocks (never reproducible between two executions)
+    #: and the per-run checkpoint-hit map.  Everything else — every count,
+    #: the machine name — is a deterministic function of the inputs and is
+    #: required to match bitwise between a cold run and any resumed run.
+    RUN_LOCAL_FIELDS = (
+        "benchmarking_time",
+        "lp_time",
+        "total_time",
+        "lp_build_time",
+        "lp_solve_time",
+        "stage_wall_clock",
+        "stage_checkpoint_hits",
+    )
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The run-independent view: every field except wall clocks/hits.
+
+        This is the contract the resume suite enforces: a run resumed from
+        checkpoints (after any stage-boundary interruption) must produce a
+        ``deterministic_dict`` equal to the cold run's, bit for bit.
+        """
+        return {
+            key: value
+            for key, value in self.to_dict().items()
+            if key not in self.RUN_LOCAL_FIELDS
+        }
 
     def as_table_rows(self) -> List[Tuple[str, str]]:
         """Rows formatted like Table II of the paper."""
+        stage_rows: List[Tuple[str, str]] = []
+        for stage, wall in self.stage_wall_clock.items():
+            marker = (
+                " (checkpoint)" if self.stage_checkpoint_hits.get(stage) else ""
+            )
+            stage_rows.append((f"  stage {stage} (s)", f"{wall:.2f}{marker}"))
         return [
             ("Machine", self.machine_name),
+            *stage_rows,
             ("Benchmarking time (s)", f"{self.benchmarking_time:.2f}"),
             ("LP solving time (s)", f"{self.lp_time:.2f}"),
             ("  LP solves", str(self.lp_solves)),

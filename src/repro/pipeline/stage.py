@@ -1,0 +1,265 @@
+"""The ``Stage`` protocol of the PALMED stage graph.
+
+A *stage* is one box of the paper's Fig. 3 pipeline (quadratic
+benchmarking, basic selection, core mapping, complete mapping, plus the
+final assembly) lifted into an explicit, checkpointable unit:
+
+* **typed inputs/outputs** — a stage declares which upstream stages it
+  consumes (``depends``); the executor hands it their in-memory outputs and
+  receives the stage's own output object back;
+* **a content hash** — a stage declares which :class:`PalmedConfig` fields
+  it reads (``config_fields``); its *input hash* combines the machine
+  fingerprint, the hash over exactly those fields, the stage schema
+  version and the upstream stages' *output hashes*.  Anything that could
+  change the stage's result changes the hash; anything that cannot (worker
+  counts, cache paths, unrelated knobs) does not;
+* **a serialized form** — ``serialize``/``deserialize`` convert the output
+  to/from a canonical JSON payload, whose digest is the stage's output
+  hash.  Restoring a checkpoint therefore yields bitwise-identical floats
+  (JSON round-trips Python floats exactly via their shortest ``repr``);
+* **measurement replay** — ``warm_runner`` replays the benchmark
+  measurements a restored output carries into the
+  :class:`~repro.palmed.benchmarks.BenchmarkRunner` memo on a checkpoint
+  hit, keeping later live stages' values *and* Table II benchmark counts
+  identical to a cold run.
+
+The concrete PALMED stages live in :mod:`repro.pipeline.stages`; the
+executor in :mod:`repro.pipeline.graph`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.artifacts.registry import payload_hash
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.palmed.benchmarks import BenchmarkRunner
+from repro.palmed.config import PalmedConfig
+
+__all__ = [
+    "PipelineInterrupted",
+    "Stage",
+    "StageContext",
+    "StageRecord",
+    "STAGE_SCHEMA_VERSION",
+    "kernel_from_payload",
+    "kernel_to_payload",
+    "payload_hash",
+]
+
+#: Bumped when a stage's payload layout (or semantics) changes
+#: incompatibly: old checkpoints then simply miss and the stage re-runs.
+STAGE_SCHEMA_VERSION = 1
+
+
+class PipelineInterrupted(RuntimeError):
+    """Raised by the executor when a run stops at a requested stage boundary.
+
+    Models a crash/kill between stages: every finished stage has already
+    been checkpointed when this is raised, so a later ``resume`` run picks
+    up exactly where the interrupted one stopped.
+    """
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(
+            f"pipeline interrupted after stage {stage!r} (checkpoint saved)"
+        )
+        self.stage = stage
+
+
+@dataclass
+class StageContext:
+    """Everything a stage may touch besides its upstream inputs.
+
+    The context is shared by every stage of one graph run: the measurement
+    front-end (whose memo accumulates across stages exactly as in the
+    monolithic driver), the configuration, and the characterized
+    instruction set.
+    """
+
+    runner: BenchmarkRunner
+    config: PalmedConfig
+    instructions: List[Instruction]
+    machine_name: str = "unknown-machine"
+    #: Per-stage run records, filled by the executor as stages finish (or
+    #: restore); later stages — the finalize stage in particular — read the
+    #: accumulated accounting from here.
+    records: Dict[str, "StageRecord"] = field(default_factory=dict)
+    #: Lazily-built name → instruction map (the instruction list is fixed
+    #: for the lifetime of a context).
+    _index: Dict[str, Instruction] = field(default_factory=dict, repr=False)
+
+    def instruction_index(self) -> Dict[str, Instruction]:
+        """Name → instruction map used to resolve serialized payloads."""
+        if not self._index:
+            self._index.update(
+                (instruction.name, instruction) for instruction in self.instructions
+            )
+        return self._index
+
+    def resolve_instruction(self, name: str) -> Instruction:
+        """Resolve one serialized instruction name against the context ISA."""
+        try:
+            return self.instruction_index()[name]
+        except KeyError:
+            raise KeyError(
+                f"checkpoint references instruction {name!r} which is not part "
+                f"of the characterized instruction set — the checkpoint does "
+                f"not belong to this run"
+            ) from None
+
+
+@dataclass
+class StageRecord:
+    """Per-stage run accounting persisted alongside the checkpoint.
+
+    ``wall_time`` is the stage's wall clock *when it actually executed*;
+    the benchmark counters are the deltas the stage contributed to the
+    runner's Table II accounting.  On a checkpoint hit the record is
+    restored instead of re-measured, which is what keeps a resumed run's
+    statistics identical to the run that produced the checkpoints.
+    """
+
+    stage: str
+    wall_time: float = 0.0
+    num_benchmarks: int = 0
+    num_benchmarks_measured: int = 0
+    num_benchmarks_cached: int = 0
+    from_checkpoint: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "wall_time": self.wall_time,
+            "num_benchmarks": self.num_benchmarks,
+            "num_benchmarks_measured": self.num_benchmarks_measured,
+            "num_benchmarks_cached": self.num_benchmarks_cached,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StageRecord":
+        return cls(
+            stage=str(payload["stage"]),
+            wall_time=float(payload["wall_time"]),
+            num_benchmarks=int(payload["num_benchmarks"]),
+            num_benchmarks_measured=int(payload["num_benchmarks_measured"]),
+            num_benchmarks_cached=int(payload["num_benchmarks_cached"]),
+            from_checkpoint=True,
+        )
+
+
+class Stage:
+    """Base class of one stage of the pipeline graph.
+
+    Subclasses set the three class attributes and implement the four
+    methods below.  Stages must be *pure* given (context, inputs): two
+    executions with equal input hashes must produce payloads that
+    serialize identically — the resume test suite enforces this bitwise.
+    """
+
+    #: Unique stage name (also the checkpoint file prefix).
+    name: str = ""
+    #: Names of the upstream stages whose outputs this stage consumes.
+    depends: Tuple[str, ...] = ()
+    #: The :class:`PalmedConfig` fields this stage reads.  Only these
+    #: participate in the input hash: editing any other field leaves the
+    #: stage's checkpoints valid.
+    config_fields: Tuple[str, ...] = ()
+
+    def run(self, context: StageContext, inputs: Dict[str, object]) -> object:
+        """Execute the stage and return its output object."""
+        raise NotImplementedError
+
+    def serialize(self, output: object) -> Dict[str, object]:
+        """Canonical JSON payload of the output (digested for the hash)."""
+        raise NotImplementedError
+
+    def deserialize(self, payload: Dict[str, object], context: StageContext) -> object:
+        """Inverse of :meth:`serialize` (bitwise-exact floats)."""
+        raise NotImplementedError
+
+    def warm_runner(self, output: object, context: StageContext) -> None:
+        """Replay a restored output's measurements into the runner memo.
+
+        Called by the executor after :meth:`deserialize` on a checkpoint
+        hit, *before* any downstream stage runs.  Implementations call
+        :meth:`~repro.palmed.benchmarks.BenchmarkRunner.preload`, which
+        warms the memo without counting — so later live stages observe
+        exactly the memo state (and Table II counters) a cold run would
+        have.  Default: nothing to replay.  Stages whose measurements
+        later stages re-request (singles, pair kernels, core
+        observations) override this.
+        """
+
+    # -- hashing -------------------------------------------------------------
+    def extra_hash_parts(self, context: StageContext) -> Sequence[str]:
+        """Additional stage-specific identity parts.  Default: none."""
+        return ()
+
+    def input_hash(
+        self,
+        context: StageContext,
+        machine_fingerprint: str,
+        upstream_hashes: Dict[str, str],
+    ) -> str:
+        """The content hash this stage's checkpoints are keyed on."""
+        digest = hashlib.sha256()
+        for part in (
+            f"schema:{STAGE_SCHEMA_VERSION}",
+            f"stage:{self.name}",
+            f"machine:{machine_fingerprint}",
+            f"config:{context.config.config_hash(self.config_fields)}",
+            # The characterized instruction set is an explicit input of the
+            # whole graph: PALMED may be pointed at a subset of the
+            # machine's ISA, and two subsets must never share checkpoints —
+            # not even for stages whose serialized output happens to
+            # coincide (e.g. subsets differing only in non-benchmarkable
+            # instructions, which still change num_instructions_total).
+            "isa:" + ",".join(sorted(i.name for i in context.instructions)),
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        for extra in self.extra_hash_parts(context):
+            digest.update(str(extra).encode("utf-8"))
+            digest.update(b"\x00")
+        for upstream in self.depends:
+            digest.update(f"{upstream}:{upstream_hashes[upstream]}".encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Shared (de)serialization helpers for stage payloads
+# ---------------------------------------------------------------------------
+
+def kernel_to_payload(kernel: Microkernel) -> Dict[str, float]:
+    """A kernel as a JSON object (instruction name → multiplicity)."""
+    return {instruction.name: count for instruction, count in kernel.items()}
+
+
+def kernel_from_payload(
+    payload: Dict[str, float], index: Dict[str, Instruction]
+) -> Microkernel:
+    """Inverse of :func:`kernel_to_payload` against a name → instruction map."""
+    return Microkernel({index[name]: float(count) for name, count in payload.items()})
+
+
+def rho_to_payload(rho: Dict[Instruction, Dict[int, float]]) -> Dict[str, Dict[str, float]]:
+    """A per-instruction resource-usage table as a JSON object."""
+    return {
+        instruction.name: {str(resource): value for resource, value in weights.items()}
+        for instruction, weights in rho.items()
+    }
+
+
+def rho_from_payload(
+    payload: Dict[str, Dict[str, float]], index: Dict[str, Instruction]
+) -> Dict[Instruction, Dict[int, float]]:
+    """Inverse of :func:`rho_to_payload`."""
+    return {
+        index[name]: {int(resource): float(value) for resource, value in weights.items()}
+        for name, weights in payload.items()
+    }

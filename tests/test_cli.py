@@ -162,3 +162,107 @@ class TestArtifactWorkflow:
         assert got["coverage_percent"] == 100.0 * expected.coverage
         assert got["rms_error_percent"] == 100.0 * expected.rms_error
         assert got["kendall_tau"] == expected.kendall_tau
+
+
+class TestResumeWorkflow:
+    """characterize --resume / --force-stage / --explain over the stage graph."""
+
+    @pytest.fixture(scope="class")
+    def registry_dir(self, tmp_path_factory):
+        registry = tmp_path_factory.mktemp("resume-artifacts")
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast",
+             "--artifacts", str(registry)]
+        )
+        assert exit_code == 0
+        return registry
+
+    def test_checkpoints_written(self, registry_dir):
+        stage_files = list(registry_dir.glob("stages/*/*.json"))
+        stages = {path.name.split("-")[0] for path in stage_files}
+        assert stages == {"quadratic", "selection", "core", "complete", "finalize"}
+
+    def test_resume_hits_every_stage(self, registry_dir, capsys):
+        json_path = registry_dir / "warm-stats.json"
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast",
+             "--artifacts", str(registry_dir), "--resume", "--explain",
+             "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "5/5 stages served from checkpoints" in output
+        assert "checkpoint" in output
+        stats = json.loads(json_path.read_text())["stats"]
+        assert all(stats["stage_checkpoint_hits"].values())
+        assert set(stats["stage_wall_clock"]) == {
+            "quadratic", "selection", "core", "complete", "finalize"
+        }
+
+    def test_force_stage_reruns_named_stage_only(self, registry_dir, capsys):
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast",
+             "--artifacts", str(registry_dir), "--resume",
+             "--force-stage", "complete", "--explain"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "4/5 stages served from checkpoints" in output
+
+    def test_resume_without_artifacts_rejected(self, capsys):
+        exit_code = main(["--machine", "toy", "--fast", "--resume"])
+        assert exit_code == 2
+        assert "--artifacts" in capsys.readouterr().err
+
+    def test_evaluate_falls_back_to_finalize_checkpoint(self, registry_dir, capsys):
+        # Remove the exported mapping artifact but keep the stage
+        # checkpoints: evaluate must serve from the finalize checkpoint.
+        for artifact in registry_dir.glob("mapping-*.json"):
+            artifact.unlink()
+        exit_code = main(
+            ["evaluate", "--machine", "toy", "--artifacts", str(registry_dir),
+             "--suite", "spec", "--blocks", "20"]
+        )
+        assert exit_code == 0
+        assert "finalize-stage checkpoint" in capsys.readouterr().out
+
+    def test_evaluate_without_anything_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["evaluate", "--machine", "toy", "--artifacts", str(tmp_path / "none")]
+        )
+        assert exit_code == 1
+        assert "characterize" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_fleet_two_machine_smoke(self, tmp_path, capsys):
+        json_path = tmp_path / "fleet.json"
+        exit_code = main(
+            ["fleet", "--machines", "toy,skl", "--isa-size", "8", "--seed", "2",
+             "--fast", "--workers", "2", "--artifacts", str(tmp_path / "registry"),
+             "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Characterized 2 machine(s)" in output
+        assert "toy-skl-p016" in output
+        payload = json.loads(json_path.read_text())
+        assert len(payload["machines"]) == 2
+        assert all(m["stats"]["num_instructions_mapped"] > 0 for m in payload["machines"])
+        # Re-submitting the same fleet resumes every stage from checkpoints.
+        exit_code = main(
+            ["fleet", "--machines", "toy,skl", "--isa-size", "8", "--seed", "2",
+             "--fast", "--artifacts", str(tmp_path / "registry"),
+             "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        for machine in payload["machines"]:
+            assert all(machine["checkpoint_hits"].values())
+
+    def test_fleet_unknown_machine_rejected(self, tmp_path, capsys):
+        exit_code = main(
+            ["fleet", "--machines", "toy,pentium", "--artifacts", str(tmp_path)]
+        )
+        assert exit_code == 2
+        assert "unknown machine" in capsys.readouterr().err
