@@ -1,7 +1,10 @@
 """Command-line entry point: ``python -m repro``.
 
-Exposes the characterize-once / predict-forever workflow of the paper as
-three subcommands sharing a mapping-artifact registry
+This module is a thin, stable shim over the :mod:`repro.cli` package
+(one module per subcommand group); the historical import surface
+(``build_parser``, ``build_command_parser``, ``main``) is preserved here.
+
+Subcommands, all sharing the mapping-artifact registry
 (:mod:`repro.artifacts`):
 
 ``characterize``
@@ -23,6 +26,13 @@ three subcommands sharing a mapping-artifact registry
 ``fleet``
     Characterize several machines concurrently: whole stage graphs fanned
     over worker processes into one shared registry.
+``serve``
+    Run an online serving node: a stdlib JSON-per-line protocol (TCP or
+    stdin/stdout) over a read-only registry, with per-machine
+    micro-batching, a hot-mapping cache and admission control.
+``artifacts``
+    List and inspect the registry contents (fingerprints, stages, hashes,
+    sizes) — the inventory a serving node has on disk.
 
 Invoking ``python -m repro`` without a subcommand keeps the historical
 behaviour (a characterization run without artifact persistence).
@@ -35,6 +45,11 @@ Characterize the toy machine and store the mapping, then serve from it::
     python -m repro predict  --machine toy --artifacts artifacts/ --suite spec
     python -m repro evaluate --machine toy --artifacts artifacts/ --suite spec
 
+Run a serving node on the registry and list what it holds::
+
+    python -m repro artifacts --artifacts artifacts/
+    python -m repro serve --artifacts artifacts/ --port 9999
+
 Interrupt-and-resume: the second invocation re-runs only the stages the
 first one never reached (everything else is served from checkpoints)::
 
@@ -45,529 +60,15 @@ first one never reached (everything else is served from checkpoints)::
 Characterize a two-machine fleet over two workers::
 
     python -m repro fleet --machines toy,skl --workers 2 --artifacts artifacts/
-
-A Skylake-like machine with a 48-instruction ISA, 4 measurement workers,
-4 LP workers and a persistent measurement cache, dumping stats as JSON::
-
-    python -m repro characterize --machine skl --isa-size 48 \\
-        --parallelism 4 --lp-parallelism 4 \\
-        --cache measurements.json --json stats.json --artifacts artifacts/
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
-import json
 import sys
-from typing import List, Optional
 
-from repro import PortModelBackend, build_machine
-from repro.machines import available_machines
-from repro.palmed import Palmed, PalmedConfig
+from repro.cli import build_command_parser, build_parser, main
 
-#: Subcommand names; anything else falls back to the legacy flag-only CLI.
-_COMMANDS = ("characterize", "predict", "evaluate", "fleet")
-
-
-def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
-    """The machine-selection flags shared by every subcommand."""
-    parser.add_argument(
-        "--machine",
-        default="toy",
-        choices=sorted(available_machines()),
-        help="ground-truth machine model (default: toy)",
-    )
-    parser.add_argument(
-        "--isa-size",
-        type=int,
-        default=48,
-        help="synthetic ISA size for the non-toy machines (default: 48)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="ISA generation seed (default: 0)"
-    )
-
-
-def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
-    """The benchmark-suite flags shared by ``predict`` and ``evaluate``."""
-    parser.add_argument(
-        "--suite",
-        default="spec",
-        choices=("spec", "polybench"),
-        help="synthetic suite family to generate (default: spec)",
-    )
-    parser.add_argument(
-        "--blocks",
-        type=int,
-        default=200,
-        help="number of basic blocks for the spec-like suite (default: 200)",
-    )
-    parser.add_argument(
-        "--suite-seed",
-        type=int,
-        default=0,
-        help="suite generation seed (default: 0)",
-    )
-
-
-def _build_machine(args: argparse.Namespace):
-    return build_machine(args.machine, n_instructions=args.isa_size, seed=args.seed)
-
-
-def _build_suite(args: argparse.Namespace, machine):
-    from repro.workloads import (
-        generate_polybench_like_suite,
-        generate_spec_like_suite,
-    )
-
-    if args.suite == "polybench":
-        return generate_polybench_like_suite(machine.instructions, seed=args.suite_seed)
-    return generate_spec_like_suite(
-        machine.instructions, n_blocks=args.blocks, seed=args.suite_seed
-    )
-
-
-def _write_json(payload: object, destination: Optional[str]) -> None:
-    if destination is None:
-        return
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if destination == "-":
-        print(text)
-    else:
-        with open(destination, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-
-
-def _add_characterize_arguments(parser: argparse.ArgumentParser) -> None:
-    """The characterization flags shared by the legacy CLI and ``characterize``."""
-    parser.add_argument(
-        "--parallelism",
-        type=int,
-        default=0,
-        help="measurement worker processes (0 = in-process, the default)",
-    )
-    parser.add_argument(
-        "--lp-parallelism",
-        type=int,
-        default=0,
-        help="LPAUX solver worker processes (0 = in-process, the default)",
-    )
-    parser.add_argument(
-        "--cache",
-        metavar="PATH",
-        default=None,
-        help="persistent measurement-cache file (default: no persistence)",
-    )
-    parser.add_argument(
-        "--json",
-        metavar="PATH",
-        default=None,
-        help="write the run statistics as JSON to this file ('-' for stdout)",
-    )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="use the cheap test configuration (smaller LPs, tighter caps)",
-    )
-    parser.add_argument(
-        "--show-mapping",
-        action="store_true",
-        help="also print the inferred instruction -> resource usage table",
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="serve stages from matching checkpoints in the --artifacts "
-        "registry instead of re-running them (requires --artifacts)",
-    )
-    parser.add_argument(
-        "--force-stage",
-        metavar="STAGE",
-        action="append",
-        default=[],
-        help="re-run this stage even when a matching checkpoint exists "
-        "(repeatable; downstream checkpoints stay valid when the re-run "
-        "reproduces the same output)",
-    )
-    parser.add_argument(
-        "--explain",
-        action="store_true",
-        help="print the per-stage checkpoint hit/miss and timing table",
-    )
-
-
-def build_parser() -> argparse.ArgumentParser:
-    """The legacy (no-subcommand) parser: one characterization run."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run the PALMED pipeline on a bundled machine model.",
-        epilog="subcommands: characterize | predict | evaluate — run "
-        "'python -m repro <subcommand> --help' for the artifact-serving "
-        "workflow (without a subcommand, a plain characterization runs)",
-    )
-    _add_machine_arguments(parser)
-    _add_characterize_arguments(parser)
-    parser.add_argument(
-        "--artifacts",
-        metavar="DIR",
-        default=None,
-        help="mapping-artifact registry directory; saves the inferred "
-        "mapping keyed by the machine fingerprint",
-    )
-    return parser
-
-
-def _run_characterize(args: argparse.Namespace) -> int:
-    """Shared implementation of the legacy CLI and ``characterize``."""
-    config = PalmedConfig().for_fast_tests() if args.fast else PalmedConfig()
-    config = dataclasses.replace(
-        config,
-        parallelism=args.parallelism,
-        lp_parallelism=args.lp_parallelism,
-        cache_path=args.cache,
-    )
-
-    registry = None
-    if args.artifacts is not None:
-        from repro.artifacts import ArtifactRegistry
-
-        registry = ArtifactRegistry(args.artifacts)
-    if (args.resume or args.force_stage) and registry is None:
-        print(
-            "error: --resume/--force-stage need a checkpoint registry; "
-            "pass --artifacts DIR",
-            file=sys.stderr,
-        )
-        return 2
-
-    machine = _build_machine(args)
-    backend = PortModelBackend(machine)
-    palmed = Palmed(
-        backend,
-        machine.benchmarkable_instructions(),
-        config,
-        registry=registry,
-        resume=args.resume,
-        force_stages=args.force_stage,
-    )
-    result = palmed.run()
-
-    if args.explain:
-        print(palmed.explain())
-        print()
-    print(result.stats.format_table())
-    if args.show_mapping:
-        print()
-        print(result.mapping.table())
-
-    if registry is not None:
-        path = registry.save_result(result, machine)
-        print(f"\nMapping artifact saved to {path}")
-
-    _write_json(
-        {
-            "stats": dataclasses.asdict(result.stats),
-            "config": dataclasses.asdict(config),
-            "mapping": result.mapping.to_dict(),
-        },
-        args.json,
-    )
-    return 0
-
-
-def _load_artifact(args: argparse.Namespace, machine):
-    from repro.artifacts import ArtifactRegistry
-
-    return ArtifactRegistry(args.artifacts).load_for_machine(machine)
-
-
-def _run_predict(args: argparse.Namespace) -> int:
-    from repro.artifacts import ArtifactError
-    from repro.predictors import PalmedPredictor
-    from repro.predictors.batch import SuiteMatrix
-
-    machine = _build_machine(args)
-    try:
-        artifact = _load_artifact(args, machine)
-    except ArtifactError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-
-    suite = _build_suite(args, machine)
-    predictor = PalmedPredictor(artifact.mapping)
-    lowered = SuiteMatrix([block.kernel for block in suite])
-    predictions = predictor.predict_batch(lowered)
-
-    processed = [p for p in predictions if p.ipc is not None]
-    print(
-        f"Served {len(predictions)} blocks of {suite.name} from artifact "
-        f"{artifact.machine_fingerprint[:16]}… ({artifact.machine_name})"
-    )
-    if processed:
-        mean_ipc = sum(p.ipc for p in processed) / len(processed)
-        print(
-            f"processed {len(processed)} blocks, mean predicted IPC {mean_ipc:.3f}"
-        )
-    shown = max(0, min(args.limit, len(predictions)))
-    if shown:
-        print(f"\nFirst {shown} predictions:")
-        width = max(len(block.name) for block in list(suite)[:shown])
-        for block, prediction in list(zip(suite, predictions))[:shown]:
-            ipc = "unsupported" if prediction.ipc is None else f"{prediction.ipc:.3f}"
-            print(f"  {block.name.ljust(width)}  IPC {ipc}")
-
-    _write_json(
-        {
-            "machine": artifact.machine_name,
-            "machine_fingerprint": artifact.machine_fingerprint,
-            "suite": suite.name,
-            "predictions": [
-                {
-                    "block": block.name,
-                    "ipc": prediction.ipc,
-                    "supported_fraction": prediction.supported_fraction,
-                }
-                for block, prediction in zip(suite, predictions)
-            ],
-        },
-        args.json,
-    )
-    return 0
-
-
-def _run_evaluate(args: argparse.Namespace) -> int:
-    from repro.artifacts import ArtifactError, ArtifactNotFoundError, ArtifactRegistry
-    from repro.evaluation import evaluate_predictors, format_accuracy_table
-    from repro.measure import MeasurementCache, backend_fingerprint
-    from repro.predictors import PalmedPredictor
-
-    machine = _build_machine(args)
-    backend = PortModelBackend(machine)
-    from repro.measure.fingerprint import machine_fingerprint
-
-    fingerprint = machine_fingerprint(machine)
-    try:
-        artifact = _load_artifact(args, machine)
-        mapping = artifact.mapping
-        source = f"saved artifact {artifact.machine_fingerprint[:16]}…"
-    except ArtifactNotFoundError:
-        # No exported artifact — fall back to the finalize-stage checkpoint
-        # left behind by a (possibly resumed) characterization, so the
-        # harness consumes the pipeline's own checkpoints instead of
-        # requiring a re-run.
-        from repro.pipeline import load_final_outcome
-
-        registry = ArtifactRegistry(args.artifacts)
-        final = load_final_outcome(registry, backend_fingerprint(backend))
-        if final is None:
-            print(
-                f"error: no mapping artifact and no finalize-stage checkpoint "
-                f"for machine {machine.name!r} under {args.artifacts} — run "
-                f"the characterization first (python -m repro characterize)",
-                file=sys.stderr,
-            )
-            return 1
-        mapping = final.mapping
-        source = "finalize-stage checkpoint"
-    except ArtifactError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-
-    suite = _build_suite(args, machine)
-    cache = MeasurementCache(args.cache) if args.cache else None
-    evaluation = evaluate_predictors(
-        backend,
-        suite,
-        [PalmedPredictor(mapping)],
-        machine_name=machine.name,
-        workers=args.workers,
-        cache=cache,
-    )
-    print(f"Fig. 4b metrics from {source} (no inference re-run)")
-    print(format_accuracy_table([evaluation]))
-
-    _write_json(
-        {
-            "machine": machine.name,
-            "machine_fingerprint": fingerprint,
-            "suite": suite.name,
-            "metrics": {
-                metrics.tool: metrics.as_row() for metrics in evaluation.all_metrics()
-            },
-        },
-        args.json,
-    )
-    return 0
-
-
-def _run_fleet(args: argparse.Namespace) -> int:
-    """Characterize several machines concurrently into one registry."""
-    from repro.pipeline import FleetMachine, FleetRunner
-
-    config = PalmedConfig().for_fast_tests() if args.fast else PalmedConfig()
-    specs = [
-        FleetMachine(machine=name.strip(), isa_size=args.isa_size, seed=args.seed)
-        for name in args.machines.split(",")
-        if name.strip()
-    ]
-    if not specs:
-        print("error: --machines needs at least one machine name", file=sys.stderr)
-        return 2
-    unknown = [spec.machine for spec in specs if spec.machine not in available_machines()]
-    if unknown:
-        print(
-            f"error: unknown machine(s) {', '.join(unknown)}; available: "
-            f"{', '.join(sorted(available_machines()))}",
-            file=sys.stderr,
-        )
-        return 2
-
-    runner = FleetRunner(
-        args.artifacts, config, workers=args.workers, resume=not args.no_resume
-    )
-    outcomes = runner.characterize(specs)
-    print(
-        f"Characterized {len(outcomes)} machine(s) with {args.workers or 1} "
-        f"worker(s) into {args.artifacts}"
-    )
-    print(FleetRunner.format_table(outcomes))
-
-    _write_json(
-        {
-            "machines": [
-                {
-                    "machine": outcome.machine_name,
-                    "fingerprint": outcome.machine_fingerprint,
-                    "artifact": outcome.artifact_path,
-                    "checkpoint_hits": outcome.checkpoint_hits,
-                    "stats": outcome.stats.to_dict(),
-                }
-                for outcome in outcomes
-            ],
-        },
-        args.json,
-    )
-    return 0
-
-
-def build_command_parser() -> argparse.ArgumentParser:
-    """The subcommand parser (``characterize`` / ``predict`` / ``evaluate``)."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="PALMED pipeline and mapping-artifact serving CLI.",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    characterize = subparsers.add_parser(
-        "characterize",
-        help="run the PALMED inference and save the mapping artifact",
-    )
-    _add_machine_arguments(characterize)
-    _add_characterize_arguments(characterize)
-    characterize.add_argument(
-        "--artifacts",
-        metavar="DIR",
-        required=True,
-        help="mapping-artifact registry directory to save into",
-    )
-    characterize.set_defaults(handler=_run_characterize)
-
-    predict = subparsers.add_parser(
-        "predict",
-        help="serve batched predictions from a saved mapping artifact",
-    )
-    _add_machine_arguments(predict)
-    _add_suite_arguments(predict)
-    predict.add_argument(
-        "--artifacts", metavar="DIR", required=True, help="registry directory"
-    )
-    predict.add_argument(
-        "--limit",
-        type=int,
-        default=10,
-        help="number of per-block predictions to print (default: 10)",
-    )
-    predict.add_argument("--json", metavar="PATH", default=None)
-    predict.set_defaults(handler=_run_predict)
-
-    evaluate = subparsers.add_parser(
-        "evaluate",
-        help="reproduce the Fig. 4b metrics from a saved mapping artifact",
-    )
-    _add_machine_arguments(evaluate)
-    _add_suite_arguments(evaluate)
-    evaluate.add_argument(
-        "--artifacts", metavar="DIR", required=True, help="registry directory"
-    )
-    evaluate.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="native-measurement worker processes (default: in-process)",
-    )
-    evaluate.add_argument(
-        "--cache",
-        metavar="PATH",
-        default=None,
-        help="persistent measurement-cache file for the native IPCs",
-    )
-    evaluate.add_argument("--json", metavar="PATH", default=None)
-    evaluate.set_defaults(handler=_run_evaluate)
-
-    fleet = subparsers.add_parser(
-        "fleet",
-        help="characterize several machines concurrently into one registry",
-    )
-    fleet.add_argument(
-        "--machines",
-        required=True,
-        help="comma-separated machine names (e.g. 'toy,skl,zen')",
-    )
-    fleet.add_argument(
-        "--isa-size",
-        type=int,
-        default=48,
-        help="synthetic ISA size for the non-toy machines (default: 48)",
-    )
-    fleet.add_argument(
-        "--seed", type=int, default=0, help="ISA generation seed (default: 0)"
-    )
-    fleet.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="machine-level worker processes (0 = sequential, the default)",
-    )
-    fleet.add_argument(
-        "--artifacts", metavar="DIR", required=True, help="registry directory"
-    )
-    fleet.add_argument(
-        "--fast",
-        action="store_true",
-        help="use the cheap test configuration (smaller LPs, tighter caps)",
-    )
-    fleet.add_argument(
-        "--no-resume",
-        action="store_true",
-        help="ignore existing stage checkpoints (default: resume from them)",
-    )
-    fleet.add_argument("--json", metavar="PATH", default=None)
-    fleet.set_defaults(handler=_run_fleet)
-
-    return parser
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and not argv[0].startswith("-"):
-        # Any leading word is (or was meant to be) a subcommand: let the
-        # command parser handle it so typos report the valid choices
-        # instead of falling through to the flag-only legacy parser.
-        args = build_command_parser().parse_args(argv)
-        return args.handler(args)
-    args = build_parser().parse_args(argv)
-    return _run_characterize(args)
+__all__ = ["build_command_parser", "build_parser", "main"]
 
 
 if __name__ == "__main__":

@@ -17,11 +17,13 @@ from repro.artifacts.registry import (
     ArtifactRegistry,
     FingerprintMismatchError,
     MappingArtifact,
+    RegistryReadOnlyError,
     StageCheckpoint,
     payload_hash,
 )
 
 __all__ = [
+    "RegistryReadOnlyError",
     "ARTIFACT_FORMAT_VERSION",
     "CHECKPOINT_FORMAT_VERSION",
     "ArtifactError",

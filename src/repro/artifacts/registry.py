@@ -93,6 +93,15 @@ class FingerprintMismatchError(ArtifactError):
     """The artifact's embedded fingerprint disagrees with the requested key."""
 
 
+class RegistryReadOnlyError(ArtifactError):
+    """A write was attempted on a registry opened read-only.
+
+    Serving nodes open their registry with ``readonly=True``: a node must
+    never mutate the artifacts it serves, so any save/delete is refused
+    with this typed error instead of silently writing.
+    """
+
+
 @dataclass
 class MappingArtifact:
     """A saved characterization: mapping + run statistics + provenance.
@@ -228,6 +237,20 @@ class ArtifactRegistry:
     root:
         Directory holding one ``mapping-<fingerprint>.json`` file per
         characterized machine; created on first save.
+    readonly:
+        Open load-only: every write method refuses with
+        :class:`RegistryReadOnlyError`.  This is how serving nodes open a
+        registry — they consume artifacts, never produce them.
+
+    Concurrent readers
+    ------------------
+    Every write goes through an atomic tempfile-plus-rename
+    (:func:`_atomic_write`), so a reader — in this process or another —
+    always observes either the complete old file or the complete new one,
+    never a torn write.  Any number of concurrent readers (e.g. several
+    serving nodes sharing one registry directory) is therefore safe
+    without locking, including while a characterization run is saving new
+    artifacts next to the ones being served.
 
     Examples
     --------
@@ -236,12 +259,21 @@ class ArtifactRegistry:
         registry = ArtifactRegistry("artifacts")
         registry.save(MappingArtifact.from_result(palmed_result, machine))
         ...
+        registry = ArtifactRegistry("artifacts", readonly=True)  # a server
         artifact = registry.load_for_machine(machine)   # any later process
         predictor = PalmedPredictor(artifact.mapping)
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], readonly: bool = False) -> None:
         self.root = Path(root)
+        self.readonly = readonly
+
+    def _check_writable(self, operation: str) -> None:
+        if self.readonly:
+            raise RegistryReadOnlyError(
+                f"registry {self.root} was opened read-only; refusing to "
+                f"{operation} (open it without readonly=True to write)"
+            )
 
     # -- paths ---------------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
@@ -251,6 +283,7 @@ class ArtifactRegistry:
     # -- save ----------------------------------------------------------------
     def save(self, artifact: MappingArtifact) -> Path:
         """Atomically persist an artifact under its machine fingerprint."""
+        self._check_writable("save a mapping artifact")
         path = self.path_for(artifact.machine_fingerprint)
         return _atomic_write(self.root, path, artifact.to_json() + "\n")
 
@@ -314,6 +347,7 @@ class ArtifactRegistry:
 
     def save_stage(self, checkpoint: StageCheckpoint) -> Path:
         """Atomically persist a stage checkpoint under its identity triple."""
+        self._check_writable("save a stage checkpoint")
         directory = self.stage_dir(checkpoint.machine_fingerprint)
         path = self.stage_path(
             checkpoint.machine_fingerprint, checkpoint.stage, checkpoint.input_hash
@@ -374,6 +408,7 @@ class ArtifactRegistry:
 
     def delete_stage(self, fingerprint: str, stage: str) -> int:
         """Delete every checkpoint of one stage; returns how many were removed."""
+        self._check_writable("delete stage checkpoints")
         removed = 0
         directory = self.stage_dir(fingerprint)
         if directory.is_dir():

@@ -1,0 +1,65 @@
+"""Command-line interface package: one module per subcommand group.
+
+``python -m repro`` dispatches here (via :mod:`repro.__main__`, kept as a
+thin shim for backward compatibility).  Subcommand groups:
+
+* :mod:`repro.cli.characterize` — ``characterize``, ``fleet`` and the
+  legacy flag-only entry point (inference into a registry);
+* :mod:`repro.cli.predict` — ``predict``, ``evaluate`` (offline
+  consumption of saved artifacts);
+* :mod:`repro.cli.serve` — ``serve`` (the online micro-batching node);
+* :mod:`repro.cli.artifacts_cmd` — ``artifacts`` (registry inventory).
+
+Each group module exposes ``register(subparsers)``; this package
+assembles them into the command parser and owns the entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import artifacts_cmd, characterize, predict, serve
+from repro.cli.characterize import build_legacy_parser, run_characterize
+
+#: Kept name: the legacy flag-only parser (no subcommand).
+build_parser = build_legacy_parser
+
+
+def build_command_parser() -> argparse.ArgumentParser:
+    """The subcommand parser (characterize / predict / evaluate / ...)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PALMED pipeline, mapping-artifact and serving CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    characterize.register(subparsers)
+    predict.register(subparsers)
+    serve.register(subparsers)
+    artifacts_cmd.register(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        if argv and not argv[0].startswith("-"):
+            # Any leading word is (or was meant to be) a subcommand: let the
+            # command parser handle it so typos report the valid choices
+            # instead of falling through to the flag-only legacy parser.
+            args = build_command_parser().parse_args(argv)
+            return args.handler(args)
+        args = build_parser().parse_args(argv)
+        return run_characterize(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that stopped reading (e.g. `head`):
+        # redirect the dangling stdout to devnull so the interpreter's
+        # shutdown flush cannot traceback, and exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+__all__ = ["build_command_parser", "build_parser", "main"]

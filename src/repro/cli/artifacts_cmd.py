@@ -1,0 +1,176 @@
+"""``artifacts``: list and inspect what a serving node has on disk.
+
+Operators point this at a registry directory to see every stored mapping
+artifact (machine, fingerprint, sizes, mapping dimensions) and the
+per-stage checkpoints a characterization left behind — the inventory a
+``python -m repro serve`` node would serve from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from typing import Dict, List
+
+from repro.cli.common import write_json
+
+
+def _format_when(timestamp: float) -> str:
+    if not timestamp:
+        return "-"
+    when = datetime.datetime.fromtimestamp(timestamp, tz=datetime.timezone.utc)
+    return when.strftime("%Y-%m-%d %H:%M:%SZ")
+
+
+def _format_size(num_bytes: int) -> str:
+    if num_bytes >= 1 << 20:
+        return f"{num_bytes / (1 << 20):.1f} MiB"
+    if num_bytes >= 1 << 10:
+        return f"{num_bytes / (1 << 10):.1f} KiB"
+    return f"{num_bytes} B"
+
+
+def _describe(registry) -> List[Dict[str, object]]:
+    """One JSON-ready record per loadable artifact."""
+    records: List[Dict[str, object]] = []
+    for artifact in registry.entries():
+        fingerprint = artifact.machine_fingerprint
+        path = registry.path_for(fingerprint)
+        records.append(
+            {
+                "machine": artifact.machine_name,
+                "fingerprint": fingerprint,
+                "created_at": artifact.created_at,
+                "format_version": artifact.format_version,
+                "size_bytes": path.stat().st_size if path.exists() else 0,
+                "instructions_mapped": len(artifact.mapping.instructions),
+                "resources": len(artifact.mapping.resources),
+                "stats": {
+                    "num_benchmarks": artifact.stats.num_benchmarks,
+                    "lp_solves": artifact.stats.lp_solves,
+                    "total_time": artifact.stats.total_time,
+                },
+            }
+        )
+    return records
+
+
+def _describe_stages(registry) -> List[Dict[str, object]]:
+    """One record per stage-checkpoint set (keyed by pipeline fingerprint).
+
+    Stage checkpoints are keyed by the *backend* fingerprint of the
+    characterization run, which differs from the mapping artifact's
+    machine fingerprint, so they are listed as their own inventory
+    section.
+    """
+    stages_root = registry.root / "stages"
+    records: List[Dict[str, object]] = []
+    if not stages_root.is_dir():
+        return records
+    for directory in sorted(stages_root.iterdir()):
+        if not directory.is_dir():
+            continue
+        fingerprint = directory.name
+        checkpoints = [
+            {
+                "stage": checkpoint.stage,
+                "input_hash": checkpoint.input_hash,
+                "output_hash": checkpoint.output_hash,
+                "size_bytes": registry.stage_path(
+                    fingerprint, checkpoint.stage, checkpoint.input_hash
+                ).stat().st_size,
+                "created_at": checkpoint.created_at,
+            }
+            for checkpoint in registry.stage_entries(fingerprint)
+        ]
+        records.append(
+            {"fingerprint": fingerprint, "checkpoints": checkpoints}
+        )
+    return records
+
+
+def run_artifacts(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactRegistry
+
+    registry = ArtifactRegistry(args.artifacts, readonly=True)
+    if not registry.root.is_dir():
+        print(f"error: no registry directory at {registry.root}", file=sys.stderr)
+        return 1
+    records = _describe(registry)
+    stage_sets = _describe_stages(registry)
+    if args.fingerprint:
+        records = [
+            record
+            for record in records
+            if str(record["fingerprint"]).startswith(args.fingerprint)
+        ]
+        stage_sets = [
+            record
+            for record in stage_sets
+            if str(record["fingerprint"]).startswith(args.fingerprint)
+        ]
+        if not records and not stage_sets:
+            print(
+                f"error: no artifact or checkpoint fingerprint starts with "
+                f"{args.fingerprint!r} under {registry.root}",
+                file=sys.stderr,
+            )
+            return 1
+
+    print(
+        f"Registry {registry.root}: {len(records)} mapping artifact(s), "
+        f"{len(stage_sets)} stage-checkpoint set(s)"
+    )
+    for record in records:
+        print()
+        print(f"  machine      {record['machine']}")
+        print(f"  fingerprint  {record['fingerprint']}")
+        print(
+            f"  artifact     v{record['format_version']}, "
+            f"{_format_size(int(record['size_bytes']))}, "
+            f"created {_format_when(float(record['created_at']))}"
+        )
+        print(
+            f"  mapping      {record['instructions_mapped']} instructions "
+            f"over {record['resources']} resources"
+        )
+    for record in stage_sets:
+        print()
+        print(f"  checkpoints for pipeline fingerprint {record['fingerprint']}")
+        for stage in record["checkpoints"]:
+            print(
+                f"    {str(stage['stage']).ljust(10)} "
+                f"in {str(stage['input_hash'])[:12]}…  "
+                f"out {str(stage['output_hash'])[:12]}…  "
+                f"{_format_size(int(stage['size_bytes']))}"
+            )
+
+    write_json(
+        {
+            "registry": str(registry.root),
+            "artifacts": records,
+            "stage_checkpoints": stage_sets,
+        },
+        args.json,
+    )
+    return 0
+
+
+def register(subparsers) -> None:
+    """Attach the ``artifacts`` subcommand."""
+    artifacts = subparsers.add_parser(
+        "artifacts",
+        help="list and inspect the mapping artifacts of a registry",
+    )
+    artifacts.add_argument(
+        "--artifacts", metavar="DIR", required=True, help="registry directory"
+    )
+    artifacts.add_argument(
+        "--fingerprint",
+        metavar="PREFIX",
+        default=None,
+        help="only show artifacts whose fingerprint starts with this prefix",
+    )
+    artifacts.add_argument("--json", metavar="PATH", default=None)
+    artifacts.set_defaults(handler=run_artifacts)

@@ -1,0 +1,120 @@
+"""``serve``: run a serving node over a registry of saved mappings.
+
+Two transports, both stdlib-only JSON-per-line
+(:mod:`repro.serving.frontend`):
+
+* ``--stdio`` — requests on stdin, responses on stdout; composes with
+  shell pipelines and is what the docs walkthrough drives;
+* ``--port N`` (default) — a threaded TCP server; ``--port 0`` picks an
+  ephemeral port and prints it, so scripts (and the CI smoke job) can
+  parse ``listening on HOST:PORT`` and connect.
+
+The node opens the registry read-only, serves every machine it holds
+(routed per request by name or fingerprint), micro-batches concurrent
+requests per machine, and prints the serving statistics table on
+shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    from repro.serving import LineProtocolServer, PredictionService, serve_stdio
+
+    service = PredictionService(
+        args.artifacts,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_pending=args.max_pending if args.max_pending > 0 else None,
+        mapping_cache_capacity=args.mapping_cache,
+    )
+    known = service.registry.entries()
+    if not known:
+        print(
+            f"error: registry {args.artifacts} holds no mapping artifacts — "
+            f"run 'python -m repro characterize --artifacts {args.artifacts}' "
+            f"first (see 'python -m repro artifacts')",
+            file=sys.stderr,
+        )
+        return 1
+    names = ", ".join(sorted(artifact.machine_name for artifact in known))
+
+    with service:
+        if args.stdio:
+            print(
+                f"serving {len(known)} machine(s) ({names}) on stdio",
+                file=sys.stderr,
+            )
+            answered = serve_stdio(service, sys.stdin, sys.stdout)
+            print(f"served {answered} request line(s)", file=sys.stderr)
+        else:
+            server = LineProtocolServer(service, host=args.host, port=args.port)
+            host, port = server.address
+            print(f"serving {len(known)} machine(s) ({names})", flush=True)
+            print(f"listening on {host}:{port}", flush=True)
+            try:
+                server.serve_forever(poll_interval=0.1)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+        print(service.stats.format_table(), file=sys.stderr)
+    return 0
+
+
+def register(subparsers) -> None:
+    """Attach the ``serve`` subcommand."""
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve micro-batched predictions from saved mapping artifacts",
+    )
+    serve.add_argument(
+        "--artifacts", metavar="DIR", required=True, help="registry directory"
+    )
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve on stdin/stdout instead of a TCP socket",
+    )
+    transport.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: 0 = ephemeral, printed)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        help="kernel cap per coalesced micro-batch (default: 512)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=0.0,
+        help="linger for stragglers up to this many ms once the queue "
+        "drains (default: 0 = flush immediately)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="admission bound: outstanding kernels per machine lane "
+        "before requests are refused (default: 4096; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--mapping-cache",
+        type=int,
+        default=8,
+        help="hot-mapping cache capacity in compiled machines (default: 8)",
+    )
+    serve.set_defaults(handler=run_serve)

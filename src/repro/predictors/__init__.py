@@ -33,7 +33,15 @@ fallback (:func:`predict_batch_serial`).  See ``docs/serving.md``.
 """
 
 from repro.predictors.base import Prediction, Predictor
-from repro.predictors.batch import MappingMatrix, SuiteMatrix, predict_batch_serial
+from repro.predictors.batch import (
+    KernelLowering,
+    LoweredBatch,
+    LoweredBatchBuilder,
+    MappingMatrix,
+    SuiteMatrix,
+    instruction_id,
+    predict_batch_serial,
+)
 from repro.predictors.palmed_predictor import PalmedPredictor
 from repro.predictors.portmap_oracle import UopsInfoPredictor
 from repro.predictors.static_analyzer import IacaLikePredictor, LlvmMcaPredictor
@@ -41,8 +49,12 @@ from repro.predictors.pmevo import PMEvoConfig, PMEvoPredictor, train_pmevo
 
 __all__ = [
     "IacaLikePredictor",
+    "KernelLowering",
     "LlvmMcaPredictor",
+    "LoweredBatch",
+    "LoweredBatchBuilder",
     "MappingMatrix",
+    "instruction_id",
     "PMEvoConfig",
     "PMEvoPredictor",
     "PalmedPredictor",

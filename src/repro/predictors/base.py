@@ -18,7 +18,7 @@ from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prediction:
     """Outcome of asking a tool about one kernel.
 
@@ -27,6 +27,11 @@ class Prediction:
     the kernel the tool actually modeled — the paper's coverage metric
     counts a kernel as covered when the tool processed it, possibly in
     degraded mode.
+
+    The class is slotted: the online serving layer (:mod:`repro.serving`)
+    constructs one instance per served request on its hot path, where the
+    per-instance ``__dict__`` of a regular dataclass is measurable
+    overhead.
     """
 
     ipc: Optional[float]

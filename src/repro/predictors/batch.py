@@ -45,10 +45,29 @@ differential suite (``tests/test_predict_batch.py``) pins the contract down.
 
 The generic fallback :func:`predict_batch_serial` is the loop every
 predictor without a compiled fast path uses for its ``predict_batch``.
+
+Online serving
+--------------
+The offline path above lowers a *whole suite at once*.  The serving layer
+(:mod:`repro.serving`) instead accumulates requests one at a time and must
+keep the per-request Python work near zero, so this module also provides an
+incremental lowering pipeline:
+
+* :func:`instruction_id` interns every :class:`Instruction` into a global,
+  append-only integer id space;
+* :class:`KernelLowering` is one kernel pre-lowered to interned-id /
+  multiplicity lists (cached per kernel by the serving layer, so a hot
+  block is lowered once and served forever);
+* :class:`LoweredBatchBuilder` accumulates lowerings into one flat COO
+  batch with O(entries) list extends and no per-batch rescans;
+* :meth:`MappingMatrix.predict_lowered` evaluates such a batch through the
+  very same masked-COO core as :meth:`MappingMatrix.predict_batch`, so the
+  bitwise contract carries over unchanged.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -70,6 +89,137 @@ def predict_batch_serial(
     suite lowering is a sequence of its kernels.
     """
     return [predictor.predict(kernel) for kernel in kernels]
+
+
+# -- global instruction interning -------------------------------------------
+
+_INTERN_LOCK = threading.Lock()
+_INSTRUCTION_IDS: Dict[Instruction, int] = {}
+
+
+def instruction_id(instruction: Instruction) -> int:
+    """The global interned id of an instruction (assigned on first use).
+
+    Ids are append-only and process-global: once assigned, an instruction
+    keeps its id for the lifetime of the process, so kernel lowerings and
+    mapping-side lookup tables built at different times stay mutually
+    consistent.  Ids are *routing* values only — they never influence a
+    predicted number, so their assignment order (a function of request
+    arrival order) cannot break determinism of results.
+    """
+    ids = _INSTRUCTION_IDS
+    interned = ids.get(instruction)
+    if interned is None:
+        with _INTERN_LOCK:
+            interned = ids.setdefault(instruction, len(ids))
+    return interned
+
+
+def interned_instruction_count() -> int:
+    """How many distinct instructions have been interned so far."""
+    return len(_INSTRUCTION_IDS)
+
+
+class KernelLowering:
+    """One kernel pre-lowered to interned-id / multiplicity lists.
+
+    The entries replay the scalar iteration order (instructions sorted by
+    name, the order :meth:`Microkernel.items` yields), which the bitwise
+    contract requires.  Lowering a kernel costs one sort plus one interning
+    lookup per distinct instruction; the serving layer caches the result
+    per kernel so repeated requests for a hot block pay nothing.
+    """
+
+    __slots__ = ("instruction_ids", "counts", "size")
+
+    def __init__(self, kernel: Microkernel) -> None:
+        #: Interned instruction ids, sorted by instruction name.
+        self.instruction_ids: List[int] = []
+        #: Multiplicities σ aligned with :attr:`instruction_ids`.
+        self.counts: List[float] = []
+        for instruction, count in kernel.items():
+            self.instruction_ids.append(instruction_id(instruction))
+            self.counts.append(count)
+        #: ``|K|`` (bitwise-equal to ``Microkernel.size``).
+        self.size: float = kernel.size
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.instruction_ids)
+
+
+class LoweredBatch:
+    """A flat COO batch of pre-lowered kernels, in interned-id space.
+
+    Produced by :class:`LoweredBatchBuilder`; consumed by
+    :meth:`MappingMatrix.predict_lowered`.  Entries are kernel-major and
+    sorted by instruction name within a kernel — the same layout as
+    :class:`SuiteMatrix`, just with global interned ids instead of
+    per-suite column ids.
+    """
+
+    __slots__ = ("instruction_ids", "counts", "lengths", "sizes", "num_kernels")
+
+    def __init__(
+        self,
+        instruction_ids: np.ndarray,
+        counts: np.ndarray,
+        lengths: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        self.instruction_ids = instruction_ids
+        self.counts = counts
+        self.lengths = lengths
+        self.sizes = sizes
+        self.num_kernels = int(sizes.size)
+
+
+class LoweredBatchBuilder:
+    """Incremental suite lowering for accumulated request batches.
+
+    The micro-batching scheduler appends one :class:`KernelLowering` per
+    admitted request as it gathers a batch — two list extends, no numpy
+    call — and :meth:`take` materializes the arrays once per flush.  This
+    keeps the per-request lowering cost O(distinct instructions) amortized
+    (zero for cache-hit kernels) instead of the per-suite rescan
+    :class:`SuiteMatrix` performs.
+
+    Not thread-safe: each builder belongs to a single scheduler thread.
+    """
+
+    __slots__ = ("_ids", "_counts", "_lengths", "_sizes")
+
+    def __init__(self) -> None:
+        self._ids: List[int] = []
+        self._counts: List[float] = []
+        self._lengths: List[int] = []
+        self._sizes: List[float] = []
+
+    def append(self, lowering: KernelLowering) -> None:
+        """Add one pre-lowered kernel to the accumulating batch."""
+        self._ids.extend(lowering.instruction_ids)
+        self._counts.extend(lowering.counts)
+        self._lengths.append(lowering.num_entries)
+        self._sizes.append(lowering.size)
+
+    def append_kernel(self, kernel: Microkernel) -> None:
+        """Lower a kernel on the fly and add it (no cache involved)."""
+        self.append(KernelLowering(kernel))
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def take(self) -> LoweredBatch:
+        """Materialize the accumulated batch and reset the builder."""
+        batch = LoweredBatch(
+            instruction_ids=np.array(self._ids, dtype=np.intp),
+            counts=np.array(self._counts, dtype=np.float64),
+            lengths=np.array(self._lengths, dtype=np.intp),
+            sizes=np.array(self._sizes, dtype=np.float64),
+        )
+        self._ids, self._counts = [], []
+        self._lengths, self._sizes = [], []
+        return batch
 
 
 class SuiteMatrix(Sequence[Microkernel]):
@@ -192,6 +342,9 @@ class MappingMatrix:
         self._flat_resources = np.array(flat_resources, dtype=np.intp)
         self._flat_amounts = np.array(flat_amounts, dtype=np.float64)
         self._flat_throughputs = np.array(flat_throughputs, dtype=np.float64)
+        # interned-id -> block lookup table for predict_lowered; rebuilt
+        # lazily whenever the global intern table has grown past its size.
+        self._interned_lut: Optional[np.ndarray] = None
 
     # -- introspection -------------------------------------------------------
     @property
@@ -263,6 +416,95 @@ class MappingMatrix:
             blocks = np.empty(0, dtype=np.intp)
             multiplicities = np.empty(0, dtype=np.float64)
 
+        return self._predict_masked(
+            kernel_ids, blocks, multiplicities, num_kernels, suite.sizes
+        )
+
+    def predict_lowered(self, batch: LoweredBatch) -> List[Prediction]:
+        """Predictions for a pre-lowered request batch (the serving path).
+
+        Semantically identical — bitwise — to calling :meth:`predict_batch`
+        on the same kernels: the interned-id lookup table plays the role of
+        the per-suite column LUT, masking preserves the entry order, and
+        the evaluation runs through the same masked-COO core.  The lookup
+        table is cached on the matrix and rebuilt only when the global
+        intern table has grown, so the steady-state per-batch cost is one
+        numpy gather.
+        """
+        num_kernels = batch.num_kernels
+        if num_kernels == 0:
+            return []
+
+        if batch.instruction_ids.size and len(self._index):
+            lut = self._interned_lut
+            if lut is None:
+                lut = self._build_interned_lut()
+            ids = batch.instruction_ids
+            if int(ids.max()) >= lut.size:
+                # Ids interned after the table was built.  The build
+                # interned every mapping instruction eagerly, so a
+                # later id is unsupported by construction: clip the
+                # gather and mask the overflow to -1 instead of
+                # rebuilding — request streams full of never-seen
+                # mnemonics (e.g. adversarial frontend input) then cost
+                # two extra numpy ops, not a per-batch table rebuild.
+                in_range = ids < lut.size
+                mapped = np.where(
+                    in_range, lut[np.minimum(ids, lut.size - 1)], -1
+                )
+            else:
+                mapped = lut[ids]
+            mask = mapped >= 0
+            kernel_ids = np.repeat(
+                np.arange(num_kernels, dtype=np.intp), batch.lengths
+            )[mask]
+            blocks = mapped[mask]
+            multiplicities = batch.counts[mask]
+        else:
+            kernel_ids = np.empty(0, dtype=np.intp)
+            blocks = np.empty(0, dtype=np.intp)
+            multiplicities = np.empty(0, dtype=np.float64)
+
+        return self._predict_masked(
+            kernel_ids, blocks, multiplicities, num_kernels, batch.sizes
+        )
+
+    def _build_interned_lut(self) -> np.ndarray:
+        """Build the interned-id -> block table, once per matrix.
+
+        Every mapping instruction is interned *eagerly* here, so the
+        finished table covers all ids that could ever map to a block —
+        ids assigned later necessarily belong to instructions this
+        mapping does not support, and :meth:`predict_lowered` masks them
+        without a rebuild.  Benign under concurrency: the build is
+        idempotent, so two threads racing here compute the same array and
+        the single reference assignment keeps readers consistent.
+        """
+        blocks = {
+            instruction_id(instruction): block
+            for instruction, block in self._index.items()
+        }
+        lut = np.full(max(1, interned_instruction_count()), -1, dtype=np.intp)
+        for interned, block in blocks.items():
+            lut[interned] = block
+        self._interned_lut = lut
+        return lut
+
+    def _predict_masked(
+        self,
+        kernel_ids: np.ndarray,
+        blocks: np.ndarray,
+        multiplicities: np.ndarray,
+        num_kernels: int,
+        sizes: np.ndarray,
+    ) -> List[Prediction]:
+        """The shared evaluation core over masked (supported-only) COO entries.
+
+        Both batch entry points reduce to this; it replays the scalar
+        accumulation order exactly (see the module docstring), so whatever
+        produced the masked triplets, the returned floats are
+        bitwise-identical to the per-kernel scalar path.
+        """
         # Per-kernel supported weight and coverage flag; bincount's C loop is
         # the same left fold as the scalar ``sum(supported.values())``.
         processed = np.bincount(kernel_ids, minlength=num_kernels) > 0
@@ -295,9 +537,9 @@ class MappingMatrix:
         else:
             cycles = np.zeros(num_kernels)
 
-        fractions = supported_weight / suite.sizes
+        fractions = supported_weight / sizes
         ipcs = np.divide(
-            suite.sizes, cycles, out=np.zeros(num_kernels), where=cycles > 0
+            sizes, cycles, out=np.zeros(num_kernels), where=cycles > 0
         )
 
         predictions: List[Prediction] = []

@@ -1,13 +1,20 @@
 """Shared parallel execution substrate.
 
-One process-pool fan-out serves every parallel path in the repository:
-microbenchmark measurement (:mod:`repro.measure`) and per-instruction LPAUX
-solving (:mod:`repro.palmed.complete_mapping`) both chunk their work through
-:class:`ParallelRuntime`, inheriting the same worker-count/chunking policy,
-the same deterministic input-order reassembly and the same sequential
-degradation on pool-less environments.
+Two primitives, two workload shapes:
+
+* :class:`ParallelRuntime` — the *offline* substrate: fans a finite batch
+  of work over a short-lived process pool with deterministic input-order
+  reassembly.  Microbenchmark measurement (:mod:`repro.measure`),
+  per-instruction LPAUX solving (:mod:`repro.palmed.complete_mapping`) and
+  fleet characterization (:mod:`repro.pipeline.fleet`) all chunk through
+  it.
+* :class:`WorkerLane` — the *online* substrate: a managed daemon thread
+  for unbounded request streams that must share in-process state.  The
+  serving layer (:mod:`repro.serving`) runs its micro-batching schedulers
+  on worker lanes.
 """
 
+from repro.runtime.lanes import WorkerLane
 from repro.runtime.pool import ParallelRuntime
 
-__all__ = ["ParallelRuntime"]
+__all__ = ["ParallelRuntime", "WorkerLane"]

@@ -1,0 +1,73 @@
+"""Online prediction serving: micro-batching, routing, admission control.
+
+The paper's end product is a port-mapping that *serves* throughput
+predictions (Definition IV.2 is evaluated per basic block; Fig. 4b over
+thousands of blocks per machine).  The offline side of that split —
+characterize once, persist the mapping, batch-predict a pre-lowered suite
+— exists in :mod:`repro.artifacts` and :mod:`repro.predictors.batch`.
+This package adds the *online* side: a service that accepts a stream of
+concurrent single-kernel requests and turns them into batched
+evaluations.
+
+Layering (each piece usable on its own):
+
+* :mod:`~repro.serving.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent submissions into one vectorized evaluation under a
+  max-batch-size / max-wait policy, with per-request futures;
+* :mod:`~repro.serving.cache` — :class:`HotMappingCache` /
+  :class:`KernelLoweringCache`: bounded LRUs of compiled mappings and
+  kernel lowerings;
+* :mod:`~repro.serving.router` — :class:`MachineRouter`: one lane per
+  machine fingerprint over the shared mapping cache;
+* :mod:`~repro.serving.service` — :class:`PredictionService`: the facade
+  with admission control, plus :class:`ServicePredictor` for harness
+  integration;
+* :mod:`~repro.serving.frontend` — the stdlib JSON-line protocol (stdio
+  and TCP) behind ``python -m repro serve``, and :class:`ServingClient`;
+* :mod:`~repro.serving.stats` — :class:`ServingStats`: latencies, batch
+  occupancy, cache hit rates, admission counters.
+
+Every served response is bitwise-identical to a serial per-request scalar
+evaluation; every refusal is a typed error.  See ``docs/serving.md``.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import CompiledMapping, HotMappingCache, KernelLoweringCache
+from repro.serving.errors import (
+    InvalidRequestError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+    UnknownMachineError,
+)
+from repro.serving.frontend import (
+    LineProtocolServer,
+    ServingClient,
+    handle_line,
+    handle_request,
+    serve_stdio,
+)
+from repro.serving.router import MachineRouter
+from repro.serving.service import PredictionService, ServicePredictor
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "CompiledMapping",
+    "HotMappingCache",
+    "InvalidRequestError",
+    "KernelLoweringCache",
+    "LineProtocolServer",
+    "MachineRouter",
+    "MicroBatcher",
+    "PredictionService",
+    "ServicePredictor",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServingClient",
+    "ServingError",
+    "ServingStats",
+    "UnknownMachineError",
+    "handle_line",
+    "handle_request",
+    "serve_stdio",
+]

@@ -1,0 +1,160 @@
+"""Bounded LRU caches of compiled serving state.
+
+Two caches keep a serving node's memory bounded while making the steady
+state allocation-free:
+
+* :class:`HotMappingCache` — machine fingerprint → :class:`CompiledMapping`
+  (the artifact's conjunctive mapping lowered to a
+  :class:`~repro.predictors.batch.MappingMatrix` plus the name →
+  instruction table the frontend parses requests with).  Mappings are
+  loaded from the :class:`~repro.artifacts.ArtifactRegistry` on first use;
+  a node serving a fleet of machines keeps only the ``capacity`` hottest
+  compiled, evicting in LRU order.  An evicted mapping is simply re-loaded
+  and re-compiled on its next request — correctness never depends on cache
+  residency.
+* :class:`KernelLoweringCache` — kernel → :class:`~repro.predictors.batch.
+  KernelLowering`.  Lowering is the only per-request Python work
+  proportional to kernel size, and serving traffic is dominated by hot
+  blocks, so caching it makes repeated requests O(1).
+
+Both caches are thread-safe (a single lock each; lookups are dict
+operations) and report hits/misses/evictions into the shared
+:class:`~repro.serving.stats.ServingStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.artifacts import ArtifactRegistry, MappingArtifact
+from repro.isa.instruction import Instruction
+from repro.mapping.microkernel import Microkernel
+from repro.predictors.batch import KernelLowering, MappingMatrix
+from repro.serving.stats import ServingStats
+
+
+class CompiledMapping:
+    """A mapping artifact compiled for serving.
+
+    Holds the vectorized :class:`MappingMatrix` (the prediction engine)
+    and the instruction table the frontend resolves request mnemonics
+    against.  Immutable once built; safe to share across threads.
+    """
+
+    __slots__ = ("fingerprint", "machine_name", "mapping", "matrix", "instruction_by_name")
+
+    def __init__(self, artifact: MappingArtifact) -> None:
+        self.fingerprint = artifact.machine_fingerprint
+        self.machine_name = artifact.machine_name
+        self.mapping = artifact.mapping
+        self.matrix = MappingMatrix(artifact.mapping)
+        self.instruction_by_name: Dict[str, Instruction] = {
+            instruction.name: instruction
+            for instruction in artifact.mapping.instructions
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledMapping({self.machine_name!r}, "
+            f"{self.fingerprint[:16]}…, "
+            f"{len(self.instruction_by_name)} instructions)"
+        )
+
+
+class HotMappingCache:
+    """Bounded LRU of compiled mappings over an artifact registry.
+
+    Parameters
+    ----------
+    registry:
+        Source of mapping artifacts; loads verify fingerprints, so a
+        cache miss on an uncharacterized machine surfaces the registry's
+        own :class:`~repro.artifacts.ArtifactNotFoundError`.
+    capacity:
+        Maximum number of compiled mappings held at once (≥ 1).
+    stats:
+        Shared metrics sink; hits, misses and evictions are recorded.
+    """
+
+    def __init__(
+        self,
+        registry: ArtifactRegistry,
+        capacity: int = 8,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.registry = registry
+        self.capacity = capacity
+        self.stats = stats or ServingStats()
+        self._lock = threading.Lock()
+        self._compiled: "OrderedDict[str, CompiledMapping]" = OrderedDict()
+
+    def get(self, fingerprint: str) -> CompiledMapping:
+        """The compiled mapping for a machine fingerprint (load on miss).
+
+        Raises whatever the registry load raises on an unknown or refused
+        fingerprint — the typed refusal travels to the requester intact.
+        """
+        with self._lock:
+            compiled = self._compiled.get(fingerprint)
+            if compiled is not None:
+                self._compiled.move_to_end(fingerprint)
+                self.stats.record_mapping_cache(hit=True)
+                return compiled
+            # Load + compile under the lock: artifacts are small JSON files
+            # and misses are rare (once per machine per eviction cycle), so
+            # simplicity beats a double-checked scheme here.
+            compiled = CompiledMapping(self.registry.load(fingerprint))
+            self._compiled[fingerprint] = compiled
+            evicted = 0
+            while len(self._compiled) > self.capacity:
+                self._compiled.popitem(last=False)
+                evicted += 1
+            self.stats.record_mapping_cache(hit=False, evicted=evicted)
+            return compiled
+
+    def resident_fingerprints(self) -> tuple:
+        """Currently cached fingerprints, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._compiled)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._compiled)
+
+
+class KernelLoweringCache:
+    """Bounded LRU of per-kernel lowerings (the hot-block fast path)."""
+
+    def __init__(
+        self, capacity: int = 65536, stats: Optional[ServingStats] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.stats = stats or ServingStats()
+        self._lock = threading.Lock()
+        self._lowerings: "OrderedDict[Microkernel, KernelLowering]" = OrderedDict()
+
+    def get(self, kernel: Microkernel) -> KernelLowering:
+        with self._lock:
+            lowering = self._lowerings.get(kernel)
+            if lowering is not None:
+                self._lowerings.move_to_end(kernel)
+                self.stats.record_lowering_cache(hit=True)
+                return lowering
+            lowering = KernelLowering(kernel)
+            self._lowerings[kernel] = lowering
+            evicted = 0
+            while len(self._lowerings) > self.capacity:
+                self._lowerings.popitem(last=False)
+                evicted += 1
+            self.stats.record_lowering_cache(hit=False, evicted=evicted)
+            return lowering
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lowerings)

@@ -1,0 +1,46 @@
+"""Typed refusals of the serving layer.
+
+The serving subsystem follows the artifact registry's refusal style
+(:mod:`repro.artifacts`): anything the service cannot do is reported with
+a dedicated exception type carrying an actionable message — never a
+silently dropped request, never a generic error string.  Registry errors
+(:class:`~repro.artifacts.ArtifactNotFoundError` for an uncharacterized
+machine, :class:`~repro.artifacts.FingerprintMismatchError` for a
+misplaced artifact) propagate through the service unchanged, so a client
+sees the same typed refusal it would get from the registry directly.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosedError(ServingError):
+    """A request was submitted to a service that is not running."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control refused a request: the pending queue is full.
+
+    Carries the observed queue state so clients can implement backoff.
+    """
+
+    def __init__(self, pending: int, bound: int, requested: int = 1) -> None:
+        self.pending = pending
+        self.bound = bound
+        self.requested = requested
+        super().__init__(
+            f"admission refused: {pending} kernel(s) pending against a "
+            f"bound of {bound} (requested {requested} more) — the service "
+            f"is overloaded; retry with backoff or raise max_pending"
+        )
+
+
+class UnknownMachineError(ServingError):
+    """A request named a machine the serving node cannot resolve."""
+
+
+class InvalidRequestError(ServingError):
+    """A frontend request was malformed (bad JSON, empty block, ...)."""

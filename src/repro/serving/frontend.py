@@ -1,0 +1,285 @@
+"""Stdlib-only line-protocol frontend: JSON per line, over stdio or TCP.
+
+A fresh process can serve saved artifacts with nothing but the standard
+library: ``python -m repro serve --artifacts DIR`` wires a
+:class:`~repro.serving.service.PredictionService` to this protocol,
+either on stdin/stdout (``--stdio``, one request line in, one response
+line out — trivially scriptable) or on a TCP socket (one thread per
+connection, lines multiplexed through the shared service, so concurrent
+clients' requests coalesce into shared micro-batches).
+
+Protocol
+--------
+Each request is one JSON object per line.  Prediction requests::
+
+    {"id": 1, "machine": "toy", "blocks": [{"ADDSS": 2.0, "BSR": 1.0}]}
+    {"id": 2, "fingerprint": "<64 hex chars>", "blocks": [...]}
+
+``machine`` addresses a stored artifact by name, ``fingerprint`` by the
+registry key; blocks map instruction mnemonics to multiplicities.  The
+response echoes the ``id``::
+
+    {"id": 1, "ok": true, "machine": "toy", "fingerprint": "...",
+     "predictions": [{"ipc": 2.0, "supported_fraction": 1.0}]}
+
+Management ops: ``{"op": "ping"}``, ``{"op": "stats"}`` and
+``{"op": "shutdown"}`` (answers, then stops the server loop).
+
+Failures are **typed, never silent**: every refusal — overload, unknown
+machine, malformed request — produces ``{"ok": false, "error": {"type":
+..., "message": ...}}`` with the exception class name, mirroring the
+registry's refusal style on the wire.
+
+Unknown mnemonics are legal: they resolve to placeholder instructions the
+mapping does not support, so the response degrades exactly like the
+paper's protocol (reduced ``supported_fraction``, ``ipc: null`` when
+nothing is supported) instead of erroring.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.isa.instruction import Extension, Instruction, InstructionKind
+from repro.mapping.microkernel import Microkernel
+from repro.predictors.base import Prediction
+from repro.serving.errors import InvalidRequestError
+from repro.serving.service import PredictionService
+
+#: The single placeholder all unknown request mnemonics collapse onto.
+#: Unknown names carry no information beyond their multiplicity (they are
+#: unsupported whatever they are called), and collapsing them keeps
+#: client-controlled strings out of the process-global instruction intern
+#: table — a node fed ever-fresh garbage mnemonics stays bounded.
+_UNKNOWN_INSTRUCTION = Instruction(
+    "__UNKNOWN__", InstructionKind.INT_ALU, Extension.BASE
+)
+
+
+def _parse_blocks(compiled, payload: object) -> List[Microkernel]:
+    """Request blocks -> kernels, resolving mnemonics via the mapping."""
+    if not isinstance(payload, list) or not payload:
+        raise InvalidRequestError(
+            "request needs a non-empty 'blocks' list of "
+            "{mnemonic: multiplicity} objects"
+        )
+    table = compiled.instruction_by_name
+    kernels: List[Microkernel] = []
+    for index, block in enumerate(payload):
+        if not isinstance(block, dict) or not block:
+            raise InvalidRequestError(
+                f"block {index} must be a non-empty "
+                f"{{mnemonic: multiplicity}} object"
+            )
+        counts: Dict[Instruction, float] = {}
+        for name, value in block.items():
+            if not isinstance(name, str) or not name:
+                raise InvalidRequestError(
+                    f"block {index} has a non-string mnemonic key"
+                )
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise InvalidRequestError(
+                    f"block {index}, {name!r}: multiplicity must be a "
+                    f"positive number, got {value!r}"
+                )
+            # A mnemonic this mapping has never seen is simply unsupported;
+            # its weight is all that matters (Microkernel sums duplicate
+            # keys), so every unknown name folds onto one placeholder.
+            instruction = table.get(name, _UNKNOWN_INSTRUCTION)
+            counts[instruction] = counts.get(instruction, 0.0) + float(value)
+        kernels.append(Microkernel(counts))
+    return kernels
+
+
+def _prediction_dict(prediction: Prediction) -> Dict[str, object]:
+    return {
+        "ipc": prediction.ipc,
+        "supported_fraction": prediction.supported_fraction,
+    }
+
+
+def handle_request(
+    service: PredictionService, request: object
+) -> Tuple[Dict[str, object], bool]:
+    """Answer one decoded request object; returns (response, shutdown)."""
+    if not isinstance(request, dict):
+        raise InvalidRequestError("each request line must be a JSON object")
+    op = request.get("op", "predict")
+    if op == "ping":
+        return {"id": request.get("id"), "ok": True, "pong": True}, False
+    if op == "stats":
+        return (
+            {"id": request.get("id"), "ok": True, "stats": service.snapshot()},
+            False,
+        )
+    if op == "shutdown":
+        return {"id": request.get("id"), "ok": True, "stopping": True}, True
+    if op != "predict":
+        raise InvalidRequestError(
+            f"unknown op {op!r} (known: predict, ping, stats, shutdown)"
+        )
+
+    fingerprint = request.get("fingerprint")
+    machine = request.get("machine")
+    if fingerprint is None and machine is None:
+        raise InvalidRequestError(
+            "a predict request needs 'fingerprint' or 'machine'"
+        )
+    if fingerprint is None:
+        fingerprint = service.resolve(str(machine))
+    # One hot-mapping-cache lookup per request; reused for mnemonic
+    # resolution and the response envelope.
+    compiled = service.compiled(str(fingerprint))
+    kernels = _parse_blocks(compiled, request.get("blocks"))
+    predictions = service.predict_many(str(fingerprint), kernels)
+    return (
+        {
+            "id": request.get("id"),
+            "ok": True,
+            "machine": compiled.machine_name,
+            "fingerprint": compiled.fingerprint,
+            "predictions": [_prediction_dict(p) for p in predictions],
+        },
+        False,
+    )
+
+
+def handle_line(
+    service: PredictionService, line: str
+) -> Tuple[Dict[str, object], bool]:
+    """Answer one protocol line; failures become typed error envelopes."""
+    request_id = None
+    try:
+        request = json.loads(line)
+        if isinstance(request, dict):
+            request_id = request.get("id")
+        return handle_request(service, request)
+    except Exception as error:  # noqa: BLE001 - typed on the wire
+        return (
+            {
+                "id": request_id,
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            },
+            False,
+        )
+
+
+def serve_stdio(
+    service: PredictionService, in_stream: TextIO, out_stream: TextIO
+) -> int:
+    """Serve the line protocol over a stream pair until EOF or shutdown.
+
+    Returns the number of request lines answered.
+    """
+    answered = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response, shutdown = handle_line(service, line)
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        answered += 1
+        if shutdown:
+            break
+    return answered
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: request lines in, response lines out, in order."""
+
+    def handle(self) -> None:
+        server: "LineProtocolServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response, shutdown = handle_line(server.service, line)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if shutdown:
+                # shutdown() must run off the serve_forever thread.
+                threading.Thread(target=server.shutdown, daemon=True).start()
+                return
+
+
+class LineProtocolServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server multiplexing connections onto one service.
+
+    Each connection gets a handler thread; all of them submit into the
+    same :class:`PredictionService`, which is where concurrent clients'
+    requests coalesce into shared micro-batches.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _LineHandler)
+        self.service = service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        return self.server_address[0], self.server_address[1]
+
+
+class ServingClient:
+    """Minimal blocking client for the line protocol (tests, CI, scripts)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object, wait for its response line."""
+        self._socket.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def predict_blocks(
+        self,
+        blocks: List[Dict[str, float]],
+        machine: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        request_id: Optional[object] = None,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"id": request_id, "blocks": blocks}
+        if machine is not None:
+            payload["machine"] = machine
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        return self.request(payload)
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

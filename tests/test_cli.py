@@ -41,6 +41,29 @@ class TestParser:
             build_command_parser().parse_args(["characterize"])
         assert "--artifacts" in capsys.readouterr().err
 
+    def test_serve_defaults(self):
+        args = build_command_parser().parse_args(["serve", "--artifacts", "arts"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert not args.stdio
+        assert args.max_batch == 512
+        assert args.max_pending == 4096
+
+    def test_artifacts_defaults(self):
+        args = build_command_parser().parse_args(["artifacts", "--artifacts", "arts"])
+        assert args.command == "artifacts"
+        assert args.fingerprint is None
+
+    def test_main_importable_from_cli_package(self):
+        """The CLI split keeps the legacy import surface intact."""
+        from repro.cli import build_command_parser as from_cli
+        from repro.cli import build_parser as legacy
+        from repro.cli import main as cli_main
+
+        assert from_cli is build_command_parser
+        assert legacy is build_parser
+        assert cli_main is main
+
 
 class TestMain:
     def test_toy_run_prints_table_and_writes_json(self, tmp_path, capsys):
@@ -162,6 +185,127 @@ class TestArtifactWorkflow:
         assert got["coverage_percent"] == 100.0 * expected.coverage
         assert got["rms_error_percent"] == 100.0 * expected.rms_error
         assert got["kendall_tau"] == expected.kendall_tau
+
+
+class TestArtifactsSubcommand:
+    """``python -m repro artifacts``: the operator inventory view."""
+
+    @pytest.fixture(scope="class")
+    def characterized(self, tmp_path_factory):
+        registry_dir = tmp_path_factory.mktemp("inventory")
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast",
+             "--artifacts", str(registry_dir)]
+        )
+        assert exit_code == 0
+        return registry_dir
+
+    def test_lists_artifacts_and_checkpoints(self, characterized, tmp_path, capsys):
+        json_path = tmp_path / "inventory.json"
+        exit_code = main(
+            ["artifacts", "--artifacts", str(characterized), "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "1 mapping artifact(s)" in output
+        assert "fingerprint" in output
+        assert "checkpoints for pipeline fingerprint" in output
+
+        payload = json.loads(json_path.read_text())
+        assert len(payload["artifacts"]) == 1
+        record = payload["artifacts"][0]
+        assert record["machine"]
+        assert len(record["fingerprint"]) == 64
+        assert record["size_bytes"] > 0
+        assert record["instructions_mapped"] > 0
+        stages = payload["stage_checkpoints"][0]["checkpoints"]
+        assert {s["stage"] for s in stages} == {
+            "quadratic", "selection", "core", "complete", "finalize"
+        }
+        assert all(s["size_bytes"] > 0 for s in stages)
+
+    def test_fingerprint_prefix_filter(self, characterized, capsys):
+        payload_fingerprint = json.loads(
+            next(characterized.glob("mapping-*.json")).read_text()
+        )["machine_fingerprint"]
+        exit_code = main(
+            ["artifacts", "--artifacts", str(characterized),
+             "--fingerprint", payload_fingerprint[:8]]
+        )
+        assert exit_code == 0
+        assert payload_fingerprint in capsys.readouterr().out
+
+    def test_unknown_prefix_fails_cleanly(self, characterized, capsys):
+        exit_code = main(
+            ["artifacts", "--artifacts", str(characterized),
+             "--fingerprint", "ffffffffffff"]
+        )
+        assert exit_code == 1
+        assert "no artifact" in capsys.readouterr().err
+
+    def test_missing_registry_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["artifacts", "--artifacts", str(tmp_path / "nowhere")]
+        )
+        assert exit_code == 1
+        assert "no registry" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    """``python -m repro serve --stdio`` in a fresh process."""
+
+    def test_stdio_round_trip_fresh_process(self, tmp_path):
+        registry_dir = tmp_path / "registry"
+        exit_code = main(
+            ["characterize", "--machine", "toy", "--fast",
+             "--artifacts", str(registry_dir)]
+        )
+        assert exit_code == 0
+
+        from repro import build_machine
+        from repro.artifacts import ArtifactRegistry
+        from repro.predictors import PalmedPredictor
+        from repro import Microkernel
+
+        machine = build_machine("toy")
+        artifact = ArtifactRegistry(registry_dir).load_for_machine(machine)
+        instructions = machine.benchmarkable_instructions()
+        block = {instructions[0].name: 2.0, instructions[1].name: 1.0}
+        expected = PalmedPredictor(artifact.mapping).predict(
+            Microkernel({instructions[0]: 2.0, instructions[1]: 1.0})
+        )
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        requests = "\n".join(
+            [
+                json.dumps({"id": 1, "machine": machine.name, "blocks": [block]}),
+                json.dumps({"id": 2, "op": "shutdown"}),
+            ]
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--artifacts", str(registry_dir), "--stdio"],
+            input=requests + "\n",
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        lines = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert lines[0]["ok"]
+        assert lines[0]["predictions"][0]["ipc"] == expected.ipc
+        assert lines[1]["stopping"]
+        assert "Serving statistics" in completed.stderr
+
+    def test_empty_registry_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["serve", "--artifacts", str(tmp_path / "empty"), "--stdio"]
+        )
+        assert exit_code == 1
+        assert "characterize" in capsys.readouterr().err
 
 
 class TestResumeWorkflow:

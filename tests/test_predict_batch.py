@@ -140,6 +140,69 @@ class TestDifferentialBitwise:
         assert_bitwise_equal(whole, singles)
 
 
+class TestEdgeCases:
+    """Degenerate inputs, bitwise-differential for every predictor family.
+
+    Each case compares the compiled batch path, the generic serial
+    fallback and the scalar loop on the same kernels.
+    """
+
+    @pytest.fixture(scope="class")
+    def predictors(self, small_skl_machine, toy_machine):
+        """One predictor per family: compiled full/partial, oracle, expert."""
+        instructions = small_skl_machine.benchmarkable_instructions()
+        mapping = small_skl_machine.true_conjunctive(include_front_end=True)
+        return [
+            PalmedPredictor(mapping),
+            PalmedPredictor(
+                mapping.restricted(instructions[: len(instructions) // 4]),
+                name="Palmed-partial",
+            ),
+            UopsInfoPredictor(
+                small_skl_machine, supported_instructions=instructions[:20]
+            ),
+            LlvmMcaPredictor(small_skl_machine, unsupported_rate=0.3),
+        ]
+
+    def test_empty_suite_for_every_predictor(self, predictors):
+        for predictor in predictors:
+            assert predictor.predict_batch([]) == []
+            assert predictor.predict_batch(SuiteMatrix([])) == []
+            assert predict_batch_serial(predictor, []) == []
+
+    def test_zero_supported_instructions_kernel(self, predictors, small_skl_machine):
+        """Kernels made only of instructions each predictor cannot model."""
+        instructions = small_skl_machine.benchmarkable_instructions()
+        for predictor in predictors:
+            unsupported = [
+                inst for inst in instructions if not predictor.supports(inst)
+            ]
+            if not unsupported:
+                continue
+            kernels = random_kernels(unsupported, 10, seed=21)
+            scalar = [predictor.predict(kernel) for kernel in kernels]
+            assert all(p.ipc is None for p in scalar)
+            assert all(bits(p.supported_fraction) == bits(0.0) for p in scalar)
+            assert_bitwise_equal(scalar, predictor.predict_batch(kernels))
+            assert_bitwise_equal(scalar, predictor.predict_batch(SuiteMatrix(kernels)))
+            assert_bitwise_equal(scalar, predict_batch_serial(predictor, kernels))
+
+    def test_single_instruction_kernels(self, predictors, small_skl_machine):
+        """One kernel per instruction, one instruction per kernel."""
+        kernels = [
+            Microkernel.single(inst, count)
+            for inst in small_skl_machine.benchmarkable_instructions()
+            for count in (0.25, 1.0, 7.0)
+        ]
+        for predictor in predictors:
+            scalar = [predictor.predict(kernel) for kernel in kernels]
+            assert_bitwise_equal(scalar, predictor.predict_batch(kernels))
+            assert_bitwise_equal(scalar, predictor.predict_batch(SuiteMatrix(kernels)))
+            assert_bitwise_equal(scalar, predict_batch_serial(predictor, kernels))
+            singles = [predictor.predict_batch([kernel])[0] for kernel in kernels]
+            assert_bitwise_equal(scalar, singles)
+
+
 class TestSuiteMatrix:
     def test_is_a_sequence_of_its_kernels(self, skl_kernels):
         lowered = SuiteMatrix(skl_kernels)
