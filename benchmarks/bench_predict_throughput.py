@@ -35,7 +35,7 @@ from repro.predictors import PalmedPredictor, UopsInfoPredictor
 from repro.predictors.batch import SuiteMatrix
 from repro.workloads import generate_spec_like_suite
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 #: Suite size for the headline predictions/sec numbers (Fig. 4b evaluates
 #: a few thousand blocks per machine/suite pair).
@@ -127,6 +127,20 @@ def test_predict_batch_throughput(serving_predictor, serving_kernels, benchmark)
         f"{n} blocks",
     ]
     write_result("predict_throughput.txt", "\n".join(lines))
+    write_json_result(
+        "BENCH_predict.json",
+        {
+            "bench": "predict_batch_throughput",
+            "suite_blocks": n,
+            "scalar_blocks_per_s": round(n / scalar_time, 1),
+            "cold_blocks_per_s": round(n / cold_time, 1),
+            "lowered_blocks_per_s": round(n / warm_time, 1),
+            "cold_speedup": round(cold_speedup, 2),
+            "lowered_speedup": round(warm_speedup, 2),
+            "suite_lowering_ms": round(lowering_time * 1e3, 3),
+            "bitwise_identical": True,
+        },
+    )
 
     assert warm_speedup >= 5.0, (
         f"lowered serving path only {warm_speedup:.1f}x faster than the "

@@ -23,7 +23,7 @@ from repro import PortModelBackend, build_toy_machine
 from repro.artifacts import ArtifactRegistry
 from repro.palmed import Palmed, PalmedConfig
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 #: Simulated per-microbenchmark cost: the real-hardware regime where
 #: benchmarking dominates the wall clock (Table II).
@@ -94,6 +94,22 @@ def test_resume_speedup_report(cold_and_warm, benchmark):
         f"{warm.mapping.to_json() == cold.mapping.to_json()}",
     ]
     write_result("resume_speedup.txt", "\n".join(lines))
+    write_json_result(
+        "BENCH_resume.json",
+        {
+            "bench": "resume_speedup",
+            "measurement_latency_ms": MEASUREMENT_LATENCY * 1000,
+            "cold_wall_s": round(cold_time, 3),
+            "warm_wall_s": round(warm_time, 3),
+            "benchmarked_warm_wall_s": round(bench_warm_time, 3),
+            "cold_measurements": cold_measured,
+            "warm_measurements": warm_measured,
+            "speedup": round(speedup, 2),
+            "mapping_bitwise_identical": (
+                warm.mapping.to_json() == cold.mapping.to_json()
+            ),
+        },
+    )
 
     assert warm.mapping.to_json() == cold.mapping.to_json()
     assert warm.stats.deterministic_dict() == cold.stats.deterministic_dict()

@@ -1,299 +1,325 @@
-"""Online serving throughput — micro-batched service vs per-request scalar loop.
+"""Online serving throughput — the concurrency ladder, thread vs process lanes.
 
-The serving subsystem (:mod:`repro.serving`) exists to make the vectorized
-batch engine pay off under request-at-a-time traffic: concurrent clients
-submit individual basic blocks, the per-machine micro-batching lane
-coalesces whatever concurrency delivers, and one ``predict_lowered`` call
-answers the whole coalesced batch.  This bench measures sustained
-requests/sec against the **per-request scalar baseline** — the historical
-``predict`` loop answering one block at a time — at concurrency 1, 8 and
-32.
+The concurrency-32 regression this bench guards against: the original
+serving stack *lost* throughput going from concurrency 8 to 32 (39,474 ->
+33,018 requests/s; latency 7.4 -> 25.3 ms) because every added client
+thread bought more GIL contention, per-kernel lock churn and dict
+rebuilding instead of more coalescing.  The fix — flat-array lowerings, a
+preallocated flush path, conditional wakeups, and optional shared-memory
+worker processes (``lane_mode="process"``) — must make the ladder
+**monotone**: requests/s may only grow (within a noise tolerance) from
+concurrency 1 through 8, 32 and 64, in both lane modes, and the process
+mode must at least double the old 39,474 requests/s peak.
 
-Workload: a hot-content corpus of 2000 large basic blocks (24–48 distinct
-instructions, the shape of unrolled/vectorized hot loops that dominate
-Fig. 4b-style suites) on a SKL-like machine with a 64-instruction ISA;
-clients sample blocks from the corpus with seeded RNGs and pipeline small
-groups of requests (one line-protocol message carries a few blocks), with
-a bounded in-flight window per client — the sustained-load regime of a
-serving node.
+Workload (shared with ``profile_serving.py`` via ``serving_workload``): a
+hot-content corpus of 2000 large basic blocks on a SKL-like machine with
+a 64-instruction ISA; clients pipeline groups of 4 blocks with a window
+of 8 in-flight groups; request streams are precomputed outside the timed
+region and identical across trials, lane modes and concurrency levels.
+Each (mode, concurrency) cell reports the best of 3 trials, interleaved
+across the grid so host drift hits every cell alike.
 
 Asserted invariants:
 
 * every served response is **bitwise-identical** to the offline scalar
-  prediction of the same block (checked for all responses of the
-  concurrency-32 run and for a dedicated identity pass);
-* at concurrency 32 the micro-batched service sustains **>= 5x** the
-  scalar baseline's requests/sec;
-* batches actually coalesce (mean occupancy well above 1) and nothing is
-  refused or dropped at this load.
+  prediction of the same block, in both lane modes (dedicated identity
+  pass at concurrency 32);
+* requests/s is monotone up the ladder within a 0.85 tolerance ratio, in
+  both lane modes;
+* the process-lane peak is >= 2x the pre-fix 39,474 requests/s;
+* concurrency 32 sustains >= 5x the per-request scalar loop;
+* nothing is refused, dropped or failed at any load.
 
-The timing-sensitive assertion stays local-only (like the other benches'
-wall-clock variants); CI smoke-runs the identity/occupancy test.
+Results land in ``results/serving_throughput.txt`` (human table) and
+``results/BENCH_serving.json`` (machine-readable; CI checks the committed
+ladder stays monotone).  The timing-sensitive test stays local-only; CI
+smoke-runs the identity/occupancy test.
 """
 
 from __future__ import annotations
 
-import random
-import struct
-import threading
-import time
-from collections import deque
-
 import pytest
 
-from repro import Microkernel, build_skylake_like_machine, build_small_isa
-from repro.artifacts import ArtifactRegistry, MappingArtifact
+from repro.artifacts import ArtifactRegistry
 from repro.measure.fingerprint import machine_fingerprint
-from repro.palmed.result import PalmedStats
 from repro.predictors import PalmedPredictor
 from repro.serving import PredictionService
 
-from conftest import write_result
+from conftest import write_json_result, write_result
+from serving_workload import (
+    BLOCK_DISTINCT,
+    CORPUS_BLOCKS,
+    GROUP,
+    WINDOW,
+    build_corpus,
+    build_streams,
+    identical,
+    scalar_baseline,
+    scalar_reference_table,
+    serving_artifact,
+    serving_machine as build_serving_machine,
+)
 
-#: Hot-content corpus size (distinct blocks clients keep asking about).
-CORPUS_BLOCKS = 2000
-#: Distinct-instruction range per block (large unrolled hot blocks).
-BLOCK_DISTINCT = (24, 48)
-#: Requests per concurrency level.
+#: Requests per (mode, concurrency, trial) run.
 REQUESTS = 32000
-#: Blocks per client message (one line-protocol request carries a group).
-GROUP = 4
-#: In-flight groups per client (the pipeline window).
-WINDOW = 8
-
-
-def _serving_artifact(machine) -> MappingArtifact:
-    stats = PalmedStats(
-        machine_name=machine.name,
-        num_instructions_total=len(machine.instructions),
-        num_benchmarkable=len(machine.benchmarkable_instructions()),
-        num_instructions_mapped=len(machine.benchmarkable_instructions()),
-        num_basic_instructions=0,
-        num_resources=0,
-        num_benchmarks=0,
-        num_equivalence_classes=0,
-        num_low_ipc=0,
-        lp1_iterations=0,
-        benchmarking_time=0.0,
-        lp_time=0.0,
-        total_time=0.0,
-    )
-    return MappingArtifact(
-        machine_name=machine.name,
-        machine_fingerprint=machine_fingerprint(machine),
-        mapping=machine.true_conjunctive(include_front_end=True),
-        stats=stats,
-    )
+#: The pre-fix throughput peak (requests/s at concurrency 8); the process
+#: lane must at least double it.
+PRE_FIX_PEAK_RPS = 39474.0
+#: The concurrency ladder; the regression lived at the 8 -> 32 step.
+LADDER = (1, 8, 32, 64)
+LANE_MODES = ("thread", "process")
+#: Best-of-N per grid cell; the 1-core host jitters by ~20% run to run, so
+#: the ladder needs several interleaved sweeps for the best to stabilize.
+TRIALS = 5
+#: Noise tolerance for the monotonicity assertion: each rung must reach at
+#: least this fraction of the best rung below it (single-core CI hosts
+#: jitter by ~15%).
+MONOTONE_TOLERANCE = 0.85
 
 
 @pytest.fixture(scope="module")
-def serving_machine():
-    return build_skylake_like_machine(isa=build_small_isa(64, seed=0))
+def bench_machine():
+    return build_serving_machine()
 
 
 @pytest.fixture(scope="module")
-def serving_corpus(serving_machine):
-    rng = random.Random(1)
-    instructions = list(serving_machine.benchmarkable_instructions())
-    corpus = []
-    for _ in range(CORPUS_BLOCKS):
-        distinct = rng.randint(*BLOCK_DISTINCT)
-        chosen = rng.sample(instructions, min(distinct, len(instructions)))
-        corpus.append(
-            Microkernel(
-                {inst: rng.choice([0.5, 1.0, 2.0, 3.0]) for inst in chosen}
-            )
-        )
-    return corpus
+def bench_corpus(bench_machine):
+    return build_corpus(bench_machine)
 
 
 @pytest.fixture(scope="module")
-def serving_registry(tmp_path_factory, serving_machine):
+def bench_registry(tmp_path_factory, bench_machine):
     root = tmp_path_factory.mktemp("serving-bench-registry")
-    ArtifactRegistry(root).save(_serving_artifact(serving_machine))
+    ArtifactRegistry(root).save(serving_artifact(bench_machine))
     return root
 
 
 @pytest.fixture(scope="module")
-def scalar_predictor(serving_machine):
+def scalar_predictor(bench_machine):
     return PalmedPredictor(
-        serving_machine.true_conjunctive(include_front_end=True)
+        bench_machine.true_conjunctive(include_front_end=True)
     )
 
 
-def _bits(value) -> bytes:
-    return struct.pack("<d", value)
+def _fresh_service(registry, lane_mode):
+    return PredictionService(
+        registry, max_batch_size=1024, max_pending=None, lane_mode=lane_mode
+    )
 
 
-def _identical(left, right) -> bool:
-    if (left.ipc is None) != (right.ipc is None):
-        return False
-    if left.ipc is not None and _bits(left.ipc) != _bits(right.ipc):
-        return False
-    return _bits(left.supported_fraction) == _bits(right.supported_fraction)
+def _timed_run(registry, lane_mode, fingerprint, corpus, streams):
+    """One warmed throughput run; returns (requests/s, stats snapshot)."""
+    from serving_workload import run_clients
 
-
-def _run_clients(service, fingerprint, corpus, concurrency, total_requests):
-    """Drive a sustained load; returns (elapsed_s, per-request responses)."""
-    per_client = total_requests // concurrency
-    responses = [None] * concurrency
-    errors = []
-
-    def client(index):
-        rng = random.Random(7000 + index)
-        sent_kernels = []
-        results = []
-        pending = deque()
-
-        def drain_one():
-            kernels, future = pending.popleft()
-            results.extend(zip(kernels, future.result(120.0)))
-
-        try:
-            submitted = 0
-            while submitted < per_client:
-                group = [
-                    corpus[rng.randrange(len(corpus))]
-                    for _ in range(min(GROUP, per_client - submitted))
-                ]
-                submitted += len(group)
-                sent_kernels.extend(group)
-                pending.append((group, service.submit_many(fingerprint, group)))
-                if len(pending) >= WINDOW:
-                    drain_one()
-            while pending:
-                drain_one()
-            responses[index] = results
-        except Exception as error:  # noqa: BLE001 - surfaced below
-            errors.append((index, error))
-
-    threads = [
-        threading.Thread(target=client, args=(i,)) for i in range(concurrency)
-    ]
-    start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - start
-    assert not errors, errors
-    return elapsed, responses
-
-
-def _scalar_baseline(predictor, corpus, total_requests, seed=99):
-    """The per-request scalar loop over an identical request stream."""
-    rng = random.Random(seed)
-    stream = [corpus[rng.randrange(len(corpus))] for _ in range(total_requests)]
-    best = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        for kernel in stream:
-            predictor.predict(kernel)
-        best = min(best, time.perf_counter() - start)
-    return total_requests / best
+    with _fresh_service(registry, lane_mode) as service:
+        # Warm the lowering cache into the sustained regime (the corpus is
+        # hot content: every block repeats many times) and, in process
+        # mode, bring the worker lane up before the clock starts.
+        service.predict_many(fingerprint, corpus)
+        elapsed, counts = run_clients(
+            service, fingerprint, streams, collect=False
+        )
+        snapshot = service.snapshot()
+        if lane_mode == "process":
+            assert service.router._process_lanes, (
+                "process lane mode silently fell back to threads"
+            )
+    requests = sum(counts)
+    assert snapshot["requests_refused"] == 0
+    assert snapshot["requests_failed"] == 0
+    return requests / elapsed, snapshot
 
 
 def test_serving_identical_under_concurrency(
-    serving_registry, serving_machine, serving_corpus, scalar_predictor
+    bench_registry, bench_machine, bench_corpus, scalar_predictor
 ):
     """CI smoke: concurrent served responses are bitwise-equal to scalar.
 
-    Also checks that micro-batches actually form (occupancy > 1) and that
-    nothing is refused or dropped at this load.
+    Runs both lane modes — thread and shared-memory process workers — and
+    checks micro-batches actually form (occupancy > 1) with nothing
+    refused or dropped.
     """
-    fingerprint = machine_fingerprint(serving_machine)
-    with PredictionService(
-        serving_registry, max_batch_size=1024, max_pending=None
-    ) as service:
-        elapsed, responses = _run_clients(
-            service, fingerprint, serving_corpus, concurrency=8,
-            total_requests=4000,
-        )
-        snapshot = service.snapshot()
+    from serving_workload import run_clients
 
-    checked = 0
-    for results in responses:
-        for kernel, prediction in results:
-            assert _identical(prediction, scalar_predictor.predict(kernel))
-            checked += 1
-    assert checked == 4000
-    assert snapshot["requests_completed"] == 4000
-    assert snapshot["requests_refused"] == 0
-    assert snapshot["requests_failed"] == 0
-    assert snapshot["batch_occupancy_mean"] > 1.5, (
-        "concurrent traffic must coalesce into micro-batches, got mean "
-        f"occupancy {snapshot['batch_occupancy_mean']:.2f}"
-    )
+    fingerprint = machine_fingerprint(bench_machine)
+    reference = scalar_reference_table(scalar_predictor, bench_corpus)
+    streams = build_streams(bench_corpus, concurrency=8, total_requests=4000)
+    for lane_mode in LANE_MODES:
+        with _fresh_service(bench_registry, lane_mode) as service:
+            elapsed, responses = run_clients(
+                service, fingerprint, streams, collect=True
+            )
+            snapshot = service.snapshot()
+            if lane_mode == "process":
+                # Guard against a silent degradation to thread evaluation
+                # (the worker spawn warns and falls back on failure).
+                assert service.router._process_lanes, (
+                    "process lane mode silently fell back to threads"
+                )
+
+        checked = 0
+        for results in responses:
+            for kernel, prediction in results:
+                assert identical(prediction, reference[id(kernel)]), (
+                    f"served response differs from scalar ({lane_mode} lane)"
+                )
+                checked += 1
+        assert checked == 4000
+        assert snapshot["requests_completed"] == 4000
+        assert snapshot["requests_refused"] == 0
+        assert snapshot["requests_failed"] == 0
+        assert snapshot["batch_occupancy_mean"] > 1.5, (
+            f"concurrent traffic must coalesce into micro-batches, got mean "
+            f"occupancy {snapshot['batch_occupancy_mean']:.2f} "
+            f"({lane_mode} lane)"
+        )
 
 
 def test_serving_throughput_scaling(
-    serving_registry, serving_machine, serving_corpus, scalar_predictor
+    bench_registry, bench_machine, bench_corpus, scalar_predictor
 ):
-    """Sustained requests/sec at concurrency {1, 8, 32} vs the scalar loop.
+    """The full ladder: monotone requests/s, 2x the pre-fix peak, bitwise."""
+    fingerprint = machine_fingerprint(bench_machine)
+    baseline_rps = scalar_baseline(scalar_predictor, bench_corpus, 8000)
+    streams_by_concurrency = {
+        concurrency: build_streams(bench_corpus, concurrency, REQUESTS)
+        for concurrency in LADDER
+    }
 
-    Acceptance: >= 5x over the per-request scalar baseline at concurrency
-    32, every response bitwise-identical to the offline scalar prediction.
-    """
-    fingerprint = machine_fingerprint(serving_machine)
-    baseline_rps = _scalar_baseline(scalar_predictor, serving_corpus, 8000)
+    # Interleave trials across the whole (mode, concurrency) grid so that
+    # slow host drift biases every cell equally rather than one column.
+    best = {}
+    snapshots = {}
+    for _ in range(TRIALS):
+        for lane_mode in LANE_MODES:
+            for concurrency in LADDER:
+                rps, snapshot = _timed_run(
+                    bench_registry,
+                    lane_mode,
+                    fingerprint,
+                    bench_corpus,
+                    streams_by_concurrency[concurrency],
+                )
+                key = (lane_mode, concurrency)
+                if rps > best.get(key, 0.0):
+                    best[key] = rps
+                    snapshots[key] = snapshot
 
-    rows = []
-    speedups = {}
-    for concurrency in (1, 8, 32):
-        with PredictionService(
-            serving_registry, max_batch_size=1024, max_pending=None
-        ) as service:
-            # Warm the lowering cache into the sustained regime (the
-            # corpus is hot content: every block repeats many times).
-            service.predict_many(fingerprint, serving_corpus)
-            elapsed, responses = _run_clients(
-                service, fingerprint, serving_corpus, concurrency, REQUESTS
+    # Identity pass: at the regression's concurrency, every response in
+    # both lane modes is bitwise-equal to the offline scalar prediction.
+    from serving_workload import run_clients
+
+    reference = scalar_reference_table(scalar_predictor, bench_corpus)
+    identity_streams = build_streams(
+        bench_corpus, concurrency=32, total_requests=8000, seed=8800
+    )
+    for lane_mode in LANE_MODES:
+        with _fresh_service(bench_registry, lane_mode) as service:
+            _, responses = run_clients(
+                service, fingerprint, identity_streams, collect=True
             )
-            snapshot = service.snapshot()
-        requests = sum(len(r) for r in responses)
-        rps = requests / elapsed
-        speedups[concurrency] = rps / baseline_rps
-        rows.append(
-            (concurrency, rps, speedups[concurrency],
-             snapshot["batch_occupancy_mean"], snapshot["latency_mean_ms"])
-        )
-        if concurrency == 32:
-            for results in responses:
-                for kernel, prediction in results:
-                    assert _identical(
-                        prediction, scalar_predictor.predict(kernel)
-                    ), "served response differs from offline scalar prediction"
-        assert snapshot["requests_refused"] == 0
-        assert snapshot["requests_failed"] == 0
+        checked = 0
+        for results in responses:
+            for kernel, prediction in results:
+                assert identical(prediction, reference[id(kernel)]), (
+                    f"served response differs from offline scalar "
+                    f"prediction ({lane_mode} lane)"
+                )
+                checked += 1
+        assert checked == 8000
 
+    # -- report --------------------------------------------------------------
     lines = [
-        "=== Online serving: micro-batched service vs per-request scalar loop ===",
+        "=== Online serving: concurrency ladder, thread vs process lanes ===",
         f"corpus: {CORPUS_BLOCKS} hot blocks "
         f"({BLOCK_DISTINCT[0]}-{BLOCK_DISTINCT[1]} distinct instructions), "
         f"SKL-like machine, 64-instruction ISA",
         f"clients pipeline groups of {GROUP} blocks, window {WINDOW} groups; "
-        f"{REQUESTS} requests per run",
+        f"{REQUESTS} requests per run, best of {TRIALS} interleaved trials",
         "",
         f"scalar per-request loop baseline: {baseline_rps:,.0f} requests/s",
+        f"pre-fix peak (concurrency 8):     {PRE_FIX_PEAK_RPS:,.0f} requests/s",
         "",
-        f"{'concurrency':>11} {'requests/s':>12} {'speedup':>9} "
-        f"{'occupancy':>10} {'latency(ms)':>12}",
+        f"{'lane mode':>9} {'concurrency':>11} {'requests/s':>12} "
+        f"{'speedup':>9} {'occupancy':>10} {'latency(ms)':>12}",
     ]
-    for concurrency, rps, speedup, occupancy, latency in rows:
-        lines.append(
-            f"{concurrency:>11} {rps:>12,.0f} {speedup:>8.1f}x "
-            f"{occupancy:>10.1f} {latency:>12.2f}"
-        )
+    ladder_records = []
+    for lane_mode in LANE_MODES:
+        for concurrency in LADDER:
+            key = (lane_mode, concurrency)
+            rps = best[key]
+            snapshot = snapshots[key]
+            speedup = rps / baseline_rps
+            lines.append(
+                f"{lane_mode:>9} {concurrency:>11} {rps:>12,.0f} "
+                f"{speedup:>8.1f}x {snapshot['batch_occupancy_mean']:>10.1f} "
+                f"{snapshot['latency_mean_ms']:>12.2f}"
+            )
+            ladder_records.append(
+                {
+                    "lane_mode": lane_mode,
+                    "concurrency": concurrency,
+                    "requests_per_s": round(rps, 1),
+                    "speedup_vs_scalar": round(speedup, 2),
+                    "occupancy_mean": round(
+                        snapshot["batch_occupancy_mean"], 2
+                    ),
+                    "latency_mean_ms": round(snapshot["latency_mean_ms"], 3),
+                }
+            )
+    peak_key = max(best, key=best.get)
     lines.extend(
         [
             "",
+            f"peak: {best[peak_key]:,.0f} requests/s "
+            f"({peak_key[0]} lane, concurrency {peak_key[1]}) — "
+            f"{best[peak_key] / PRE_FIX_PEAK_RPS:.1f}x the pre-fix peak",
             "bitwise equality served == offline scalar: verified on all "
-            f"{REQUESTS} concurrency-32 responses",
+            "8000 concurrency-32 responses, both lane modes",
         ]
     )
     write_result("serving_throughput.txt", "\n".join(lines))
-
-    assert speedups[32] >= 5.0, (
-        f"micro-batched service only {speedups[32]:.1f}x the scalar "
-        f"baseline at concurrency 32 (required >= 5x)"
+    write_json_result(
+        "BENCH_serving.json",
+        {
+            "bench": "serving_throughput",
+            "machine": "skl_like_isa64",
+            "corpus_blocks": CORPUS_BLOCKS,
+            "group": GROUP,
+            "window": WINDOW,
+            "requests_per_run": REQUESTS,
+            "trials": TRIALS,
+            "monotone_tolerance": MONOTONE_TOLERANCE,
+            "scalar_baseline_rps": round(baseline_rps, 1),
+            "pre_fix_peak_rps": PRE_FIX_PEAK_RPS,
+            "ladder": ladder_records,
+            "peak_rps": round(best[peak_key], 1),
+            "peak_lane_mode": peak_key[0],
+            "peak_concurrency": peak_key[1],
+            "bitwise_identical": True,
+        },
     )
+
+    # -- acceptance ----------------------------------------------------------
+    for lane_mode in LANE_MODES:
+        floor = 0.0
+        for concurrency in LADDER:
+            rps = best[(lane_mode, concurrency)]
+            assert rps >= MONOTONE_TOLERANCE * floor, (
+                f"{lane_mode} lane regressed up the ladder: "
+                f"{rps:,.0f} requests/s at concurrency {concurrency} vs "
+                f"{floor:,.0f} below it (tolerance {MONOTONE_TOLERANCE})"
+            )
+            floor = max(floor, rps)
+
+    process_peak = max(best[("process", c)] for c in LADDER)
+    assert process_peak >= 2.0 * PRE_FIX_PEAK_RPS, (
+        f"process-lane peak {process_peak:,.0f} requests/s is below 2x the "
+        f"pre-fix peak ({2 * PRE_FIX_PEAK_RPS:,.0f} required)"
+    )
+    for lane_mode in LANE_MODES:
+        speedup = best[(lane_mode, 32)] / baseline_rps
+        assert speedup >= 5.0, (
+            f"{lane_mode} lane only {speedup:.1f}x the scalar baseline at "
+            f"concurrency 32 (required >= 5x)"
+        )

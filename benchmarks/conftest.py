@@ -12,6 +12,7 @@ the artifacts survive the pytest-benchmark output capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -53,6 +54,20 @@ def write_result(name: str, content: str) -> pathlib.Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+def write_json_result(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable bench record (``BENCH_*.json``).
+
+    The ``.txt`` tables are for humans; these records are what CI jobs and
+    regression tooling compare against — stable keys, no layout to parse.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

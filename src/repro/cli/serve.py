@@ -9,10 +9,16 @@ Two transports, both stdlib-only JSON-per-line
   ephemeral port and prints it, so scripts (and the CI smoke job) can
   parse ``listening on HOST:PORT`` and connect.
 
+TCP clients may additionally negotiate the length-prefixed binary framing
+with a ``hello`` line (see :mod:`repro.serving.frontend`); stdio stays
+JSON-only.
+
 The node opens the registry read-only, serves every machine it holds
 (routed per request by name or fingerprint), micro-batches concurrent
 requests per machine, and prints the serving statistics table on
-shutdown.
+shutdown.  ``--lane-mode process`` moves batch evaluation into
+per-machine shared-memory worker processes (GIL-free) with
+bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ def run_serve(args: argparse.Namespace) -> int:
         max_wait_s=args.max_wait_ms / 1e3,
         max_pending=args.max_pending if args.max_pending > 0 else None,
         mapping_cache_capacity=args.mapping_cache,
+        lane_mode=args.lane_mode,
     )
     known = service.registry.entries()
     if not known:
@@ -116,5 +123,14 @@ def register(subparsers) -> None:
         type=int,
         default=8,
         help="hot-mapping cache capacity in compiled machines (default: 8)",
+    )
+    serve.add_argument(
+        "--lane-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="batch evaluation mode: 'thread' runs on the lane scheduler "
+        "thread; 'process' ships batches to a per-machine shared-memory "
+        "worker process (GIL-free, bitwise-identical results; degrades "
+        "to 'thread' with a warning if the host cannot spawn workers)",
     )
     serve.set_defaults(handler=run_serve)

@@ -33,6 +33,7 @@ benchmarking-vs-LP-time split faithful.
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -255,15 +256,24 @@ def run_complete_mapping(
     ]
     measurement_time = time.monotonic() - measure_start
 
+    lp_workers_requested = lp_workers_effective = 0
     if runtime is None:
+        lp_workers_requested = config.lp_parallelism
+        lp_workers_effective = lp_workers_requested
+        if lp_workers_requested > 1 and (os.cpu_count() or 1) <= 1:
+            # A single-core host gains nothing from LP worker processes:
+            # every fork pays serialization and scheduler churn for zero
+            # added CPU.  Results are bitwise-identical either way, so
+            # degrade to in-process solving and record the decision.
+            lp_workers_effective = 1
         # One chunk per worker: LPAUX items are uniform (constant-size
         # problems), so finer chunking buys no load balance and each extra
         # chunk rebuilds its WeightModelCache templates once more.
         chunk_size = None
-        if config.lp_parallelism > 1 and items:
-            chunk_size = math.ceil(len(items) / config.lp_parallelism)
+        if lp_workers_effective > 1 and items:
+            chunk_size = math.ceil(len(items) / lp_workers_effective)
         runtime = ParallelRuntime(
-            workers=config.lp_parallelism, chunk_size=chunk_size
+            workers=lp_workers_effective, chunk_size=chunk_size
         )
     context = _LpauxContext(
         num_resources=core.num_resources,
@@ -277,6 +287,8 @@ def run_complete_mapping(
 
     mapped: Dict[Instruction, Dict[int, float]] = {}
     stats = SolveStats()
+    stats.lp_workers_requested = lp_workers_requested
+    stats.lp_workers_effective = lp_workers_effective
     for (instruction, _), (rho, local) in zip(items, results):
         stats.merge(local)
         if rho is not None:

@@ -41,6 +41,7 @@ from repro.predictors.batch import (
     SuiteMatrix,
     instruction_id,
     predict_batch_serial,
+    predictions_from_arrays,
 )
 from repro.predictors.palmed_predictor import PalmedPredictor
 from repro.predictors.portmap_oracle import UopsInfoPredictor
@@ -63,5 +64,6 @@ __all__ = [
     "SuiteMatrix",
     "UopsInfoPredictor",
     "predict_batch_serial",
+    "predictions_from_arrays",
     "train_pmevo",
 ]

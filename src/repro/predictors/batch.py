@@ -56,13 +56,19 @@ incremental lowering pipeline:
 * :func:`instruction_id` interns every :class:`Instruction` into a global,
   append-only integer id space;
 * :class:`KernelLowering` is one kernel pre-lowered to interned-id /
-  multiplicity lists (cached per kernel by the serving layer, so a hot
+  multiplicity arrays (cached per kernel by the serving layer, so a hot
   block is lowered once and served forever);
-* :class:`LoweredBatchBuilder` accumulates lowerings into one flat COO
-  batch with O(entries) list extends and no per-batch rescans;
+* :class:`LoweredBatchBuilder` accumulates lowerings into preallocated
+  flat COO buffers with O(entries) slice assignments and no per-batch
+  rescans or list churn;
 * :meth:`MappingMatrix.predict_lowered` evaluates such a batch through the
   very same masked-COO core as :meth:`MappingMatrix.predict_batch`, so the
-  bitwise contract carries over unchanged.
+  bitwise contract carries over unchanged.  Lanes that must hand results
+  across a process boundary use :meth:`MappingMatrix.predict_lowered_arrays`
+  instead, which returns the same numbers as two flat float arrays
+  (NaN encoding an unpredictable kernel); :func:`predictions_from_arrays`
+  converts them back to :class:`~repro.predictors.base.Prediction` objects
+  without changing a bit.
 """
 
 from __future__ import annotations
@@ -121,31 +127,35 @@ def interned_instruction_count() -> int:
 
 
 class KernelLowering:
-    """One kernel pre-lowered to interned-id / multiplicity lists.
+    """One kernel pre-lowered to interned-id / multiplicity arrays.
 
     The entries replay the scalar iteration order (instructions sorted by
     name, the order :meth:`Microkernel.items` yields), which the bitwise
     contract requires.  Lowering a kernel costs one sort plus one interning
     lookup per distinct instruction; the serving layer caches the result
-    per kernel so repeated requests for a hot block pay nothing.
+    per kernel so repeated requests for a hot block pay nothing — the
+    flush path then bulk-copies the arrays into the batch buffers with
+    slice assignments instead of re-walking Python lists.
     """
 
     __slots__ = ("instruction_ids", "counts", "size")
 
     def __init__(self, kernel: Microkernel) -> None:
-        #: Interned instruction ids, sorted by instruction name.
-        self.instruction_ids: List[int] = []
-        #: Multiplicities σ aligned with :attr:`instruction_ids`.
-        self.counts: List[float] = []
+        ids: List[int] = []
+        counts: List[float] = []
         for instruction, count in kernel.items():
-            self.instruction_ids.append(instruction_id(instruction))
-            self.counts.append(count)
+            ids.append(instruction_id(instruction))
+            counts.append(count)
+        #: Interned instruction ids, sorted by instruction name.
+        self.instruction_ids: np.ndarray = np.array(ids, dtype=np.intp)
+        #: Multiplicities σ aligned with :attr:`instruction_ids`.
+        self.counts: np.ndarray = np.array(counts, dtype=np.float64)
         #: ``|K|`` (bitwise-equal to ``Microkernel.size``).
         self.size: float = kernel.size
 
     @property
     def num_entries(self) -> int:
-        return len(self.instruction_ids)
+        return int(self.instruction_ids.size)
 
 
 class LoweredBatch:
@@ -177,48 +187,95 @@ class LoweredBatch:
 class LoweredBatchBuilder:
     """Incremental suite lowering for accumulated request batches.
 
-    The micro-batching scheduler appends one :class:`KernelLowering` per
-    admitted request as it gathers a batch — two list extends, no numpy
-    call — and :meth:`take` materializes the arrays once per flush.  This
-    keeps the per-request lowering cost O(distinct instructions) amortized
-    (zero for cache-hit kernels) instead of the per-suite rescan
-    :class:`SuiteMatrix` performs.
+    The micro-batching scheduler appends one :class:`KernelLowering` (or a
+    whole pre-lowered :class:`LoweredBatch`, for frontends that decode
+    straight to arrays) per admitted unit as it gathers a batch, and
+    :meth:`take` hands out the accumulated arrays once per flush.  The
+    buffers are preallocated and grow geometrically, so a steady-state
+    flush performs only slice assignments — no list churn, no per-batch
+    ``np.array`` materialization.
+
+    :meth:`take` returns *views* into the builder's buffers: they stay
+    valid until the next ``append``, which matches the flush discipline
+    (build, evaluate, resolve — then gather the next batch).  A consumer
+    that must retain a batch beyond the flush copies the arrays.
 
     Not thread-safe: each builder belongs to a single scheduler thread.
     """
 
-    __slots__ = ("_ids", "_counts", "_lengths", "_sizes")
+    __slots__ = ("_ids", "_counts", "_lengths", "_sizes", "_entries", "_kernels")
 
-    def __init__(self) -> None:
-        self._ids: List[int] = []
-        self._counts: List[float] = []
-        self._lengths: List[int] = []
-        self._sizes: List[float] = []
+    def __init__(self, entry_capacity: int = 4096, kernel_capacity: int = 512) -> None:
+        entry_capacity = max(1, int(entry_capacity))
+        kernel_capacity = max(1, int(kernel_capacity))
+        self._ids = np.empty(entry_capacity, dtype=np.intp)
+        self._counts = np.empty(entry_capacity, dtype=np.float64)
+        self._lengths = np.empty(kernel_capacity, dtype=np.intp)
+        self._sizes = np.empty(kernel_capacity, dtype=np.float64)
+        self._entries = 0
+        self._kernels = 0
+
+    def _reserve(self, entries: int, kernels: int) -> None:
+        """Grow the buffers (geometrically) to fit the incoming unit."""
+        need = self._entries + entries
+        if need > self._ids.size:
+            capacity = max(need, 2 * self._ids.size)
+            ids = np.empty(capacity, dtype=np.intp)
+            counts = np.empty(capacity, dtype=np.float64)
+            ids[: self._entries] = self._ids[: self._entries]
+            counts[: self._entries] = self._counts[: self._entries]
+            self._ids, self._counts = ids, counts
+        need = self._kernels + kernels
+        if need > self._lengths.size:
+            capacity = max(need, 2 * self._lengths.size)
+            lengths = np.empty(capacity, dtype=np.intp)
+            sizes = np.empty(capacity, dtype=np.float64)
+            lengths[: self._kernels] = self._lengths[: self._kernels]
+            sizes[: self._kernels] = self._sizes[: self._kernels]
+            self._lengths, self._sizes = lengths, sizes
 
     def append(self, lowering: KernelLowering) -> None:
         """Add one pre-lowered kernel to the accumulating batch."""
-        self._ids.extend(lowering.instruction_ids)
-        self._counts.extend(lowering.counts)
-        self._lengths.append(lowering.num_entries)
-        self._sizes.append(lowering.size)
+        entries = lowering.instruction_ids.size
+        self._reserve(entries, 1)
+        start = self._entries
+        self._ids[start : start + entries] = lowering.instruction_ids
+        self._counts[start : start + entries] = lowering.counts
+        self._lengths[self._kernels] = entries
+        self._sizes[self._kernels] = lowering.size
+        self._entries = start + entries
+        self._kernels += 1
+
+    def append_batch(self, batch: LoweredBatch) -> None:
+        """Bulk-add an already-flattened batch (one slice copy per array)."""
+        entries = batch.instruction_ids.size
+        kernels = batch.num_kernels
+        self._reserve(entries, kernels)
+        start, k = self._entries, self._kernels
+        self._ids[start : start + entries] = batch.instruction_ids
+        self._counts[start : start + entries] = batch.counts
+        self._lengths[k : k + kernels] = batch.lengths
+        self._sizes[k : k + kernels] = batch.sizes
+        self._entries = start + entries
+        self._kernels = k + kernels
 
     def append_kernel(self, kernel: Microkernel) -> None:
         """Lower a kernel on the fly and add it (no cache involved)."""
         self.append(KernelLowering(kernel))
 
     def __len__(self) -> int:
-        return len(self._lengths)
+        return self._kernels
 
     def take(self) -> LoweredBatch:
-        """Materialize the accumulated batch and reset the builder."""
+        """The accumulated batch (views; valid until the next append)."""
         batch = LoweredBatch(
-            instruction_ids=np.array(self._ids, dtype=np.intp),
-            counts=np.array(self._counts, dtype=np.float64),
-            lengths=np.array(self._lengths, dtype=np.intp),
-            sizes=np.array(self._sizes, dtype=np.float64),
+            instruction_ids=self._ids[: self._entries],
+            counts=self._counts[: self._entries],
+            lengths=self._lengths[: self._kernels],
+            sizes=self._sizes[: self._kernels],
         )
-        self._ids, self._counts = [], []
-        self._lengths, self._sizes = [], []
+        self._entries = 0
+        self._kernels = 0
         return batch
 
 
@@ -431,14 +488,36 @@ class MappingMatrix:
         intern table has grown, so the steady-state per-batch cost is one
         numpy gather.
         """
+        return predictions_from_arrays(*self.predict_lowered_arrays(batch))
+
+    def predict_lowered_arrays(
+        self, batch: LoweredBatch, lut: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The array form of :meth:`predict_lowered`: ``(ipcs, fractions)``.
+
+        Returns two float64 arrays of length ``batch.num_kernels`` carrying
+        exactly the numbers :meth:`predict_lowered` would wrap into
+        :class:`~repro.predictors.base.Prediction` objects, with ``NaN``
+        standing in for an unpredictable kernel (``ipc=None``).  This is
+        the shape a process lane ships over its shared-memory response
+        slab; :func:`predictions_from_arrays` restores the objects on the
+        other side without touching a bit.
+
+        ``lut`` overrides the cached interned-id table — a worker process
+        evaluates against the *parent's* intern order by passing the
+        snapshot it was handed at spawn, since its own intern table grows
+        in request-arrival order and need not match.
+        """
         num_kernels = batch.num_kernels
         if num_kernels == 0:
-            return []
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy()
 
         if batch.instruction_ids.size and len(self._index):
-            lut = self._interned_lut
             if lut is None:
-                lut = self._build_interned_lut()
+                lut = self._interned_lut
+                if lut is None:
+                    lut = self._build_interned_lut()
             ids = batch.instruction_ids
             if int(ids.max()) >= lut.size:
                 # Ids interned after the table was built.  The build
@@ -465,9 +544,21 @@ class MappingMatrix:
             blocks = np.empty(0, dtype=np.intp)
             multiplicities = np.empty(0, dtype=np.float64)
 
-        return self._predict_masked(
+        return self._masked_arrays(
             kernel_ids, blocks, multiplicities, num_kernels, batch.sizes
         )
+
+    def interned_lut_snapshot(self) -> np.ndarray:
+        """A copy of the interned-id -> block table (built if needed).
+
+        The snapshot a parent hands to a process lane at spawn: block
+        indices are positional in ``mapping.instructions`` order, so a
+        worker that compiled the same artifact evaluates identically.
+        """
+        lut = self._interned_lut
+        if lut is None:
+            lut = self._build_interned_lut()
+        return lut.copy()
 
     def _build_interned_lut(self) -> np.ndarray:
         """Build the interned-id -> block table, once per matrix.
@@ -498,12 +589,30 @@ class MappingMatrix:
         num_kernels: int,
         sizes: np.ndarray,
     ) -> List[Prediction]:
+        """Masked-COO evaluation, wrapped into :class:`Prediction` objects."""
+        return predictions_from_arrays(
+            *self._masked_arrays(
+                kernel_ids, blocks, multiplicities, num_kernels, sizes
+            )
+        )
+
+    def _masked_arrays(
+        self,
+        kernel_ids: np.ndarray,
+        blocks: np.ndarray,
+        multiplicities: np.ndarray,
+        num_kernels: int,
+        sizes: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """The shared evaluation core over masked (supported-only) COO entries.
 
         Both batch entry points reduce to this; it replays the scalar
         accumulation order exactly (see the module docstring), so whatever
         produced the masked triplets, the returned floats are
-        bitwise-identical to the per-kernel scalar path.
+        bitwise-identical to the per-kernel scalar path.  The return value
+        is ``(ipcs, fractions)`` with NaN encoding ``ipc=None`` — both an
+        unprocessed kernel (fraction forced to 0.0) and a processed kernel
+        whose cycle count is non-positive.
         """
         # Per-kernel supported weight and coverage flag; bincount's C loop is
         # the same left fold as the scalar ``sum(supported.values())``.
@@ -542,14 +651,25 @@ class MappingMatrix:
             sizes, cycles, out=np.zeros(num_kernels), where=cycles > 0
         )
 
-        predictions: List[Prediction] = []
-        for seen, t_value, fraction, ipc in zip(
-            processed.tolist(), cycles.tolist(), fractions.tolist(), ipcs.tolist()
-        ):
-            if not seen:
-                predictions.append(Prediction(ipc=None, supported_fraction=0.0))
-            elif t_value <= 0:
-                predictions.append(Prediction(ipc=None, supported_fraction=fraction))
-            else:
-                predictions.append(Prediction(ipc=ipc, supported_fraction=fraction))
-        return predictions
+        # NaN-encode the scalar tail's case split without changing a bit:
+        # the selected ipc/fraction values are passed through untouched.
+        return (
+            np.where(processed & (cycles > 0), ipcs, np.nan),
+            np.where(processed, fractions, 0.0),
+        )
+
+
+def predictions_from_arrays(
+    ipcs: np.ndarray, fractions: np.ndarray
+) -> List[Prediction]:
+    """Rewrap an ``(ipcs, fractions)`` pair into :class:`Prediction` objects.
+
+    The exact inverse of the NaN encoding
+    :meth:`MappingMatrix.predict_lowered_arrays` produces: NaN means
+    ``ipc=None``, every other float crosses unchanged (``x != x`` is the
+    allocation-free NaN test).
+    """
+    return [
+        Prediction(ipc=None if ipc != ipc else ipc, supported_fraction=fraction)
+        for ipc, fraction in zip(ipcs.tolist(), fractions.tolist())
+    ]

@@ -12,9 +12,19 @@ Two primitives, two workload shapes:
   for unbounded request streams that must share in-process state.  The
   serving layer (:mod:`repro.serving`) runs its micro-batching schedulers
   on worker lanes.
+* :class:`ProcessWorkerLane` — the online substrate's GIL-free variant: a
+  dedicated worker process exchanging flat numpy slabs with the parent
+  through POSIX shared memory.  Serving lanes use it in
+  ``--lane-mode process`` to move batch evaluation (and its Python-side
+  result framing) off the request threads entirely.
 """
 
-from repro.runtime.lanes import WorkerLane
+from repro.runtime.lanes import ProcessLaneError, ProcessWorkerLane, WorkerLane
 from repro.runtime.pool import ParallelRuntime
 
-__all__ = ["ParallelRuntime", "WorkerLane"]
+__all__ = [
+    "ParallelRuntime",
+    "ProcessLaneError",
+    "ProcessWorkerLane",
+    "WorkerLane",
+]

@@ -23,7 +23,9 @@ Layering (each piece usable on its own):
   with admission control, plus :class:`ServicePredictor` for harness
   integration;
 * :mod:`~repro.serving.frontend` — the stdlib JSON-line protocol (stdio
-  and TCP) behind ``python -m repro serve``, and :class:`ServingClient`;
+  and TCP) behind ``python -m repro serve``, the negotiated binary
+  framing, and the :class:`ServingClient` / :class:`BinaryServingClient`
+  pair;
 * :mod:`~repro.serving.stats` — :class:`ServingStats`: latencies, batch
   occupancy, cache hit rates, admission counters.
 
@@ -41,6 +43,7 @@ from repro.serving.errors import (
     UnknownMachineError,
 )
 from repro.serving.frontend import (
+    BinaryServingClient,
     LineProtocolServer,
     ServingClient,
     handle_line,
@@ -52,6 +55,7 @@ from repro.serving.service import PredictionService, ServicePredictor
 from repro.serving.stats import ServingStats
 
 __all__ = [
+    "BinaryServingClient",
     "CompiledMapping",
     "HotMappingCache",
     "InvalidRequestError",

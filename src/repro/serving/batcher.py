@@ -49,19 +49,32 @@ from concurrent.futures import Future
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.runtime import WorkerLane
-from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serving.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
 from repro.serving.stats import ServingStats
 
 
 class _Entry:
-    """One submission: a group of payloads and the future resolving them."""
+    """One submission: a group of payloads and the future resolving them.
 
-    __slots__ = ("payloads", "future", "single", "submitted_at")
+    ``width`` is how many result units the entry stands for.  For plain
+    submissions it equals ``len(payloads)``; a pre-flattened group payload
+    (one object carrying many kernels, e.g. a decoded binary frame) has a
+    single payload whose width is its kernel count.
+    """
 
-    def __init__(self, payloads: Tuple, future: Future, single: bool) -> None:
+    __slots__ = ("payloads", "future", "single", "width", "submitted_at")
+
+    def __init__(
+        self, payloads: Tuple, future: Future, single: bool, width: int
+    ) -> None:
         self.payloads = payloads
         self.future = future
         self.single = single
+        self.width = width
         self.submitted_at = time.perf_counter()
 
 
@@ -107,6 +120,7 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._entries: Deque[_Entry] = deque()
         self._pending = 0
+        self._waiting = 0  # scheduler threads blocked on the condition
         self._closed = False
         self._lane = WorkerLane(self._drain_once, name=f"batcher-{label[:16]}")
 
@@ -141,7 +155,7 @@ class MicroBatcher:
         with self._cond:
             abandoned = list(self._entries)
             self._entries.clear()
-            abandoned_kernels = sum(len(entry.payloads) for entry in abandoned)
+            abandoned_kernels = sum(entry.width for entry in abandoned)
             self._pending -= abandoned_kernels
         for entry in abandoned:
             if entry.future.set_running_or_notify_cancel():
@@ -168,7 +182,7 @@ class MicroBatcher:
     # -- submission ----------------------------------------------------------
     def submit(self, payload) -> Future:
         """Enqueue one payload; the future resolves to its single result."""
-        return self._enqueue((payload,), single=True)
+        return self._enqueue((payload,), single=True, width=1)
 
     def submit_many(self, payloads: Sequence) -> Future:
         """Enqueue a group atomically; the future resolves to a result list.
@@ -176,10 +190,25 @@ class MicroBatcher:
         The group is scheduled as a unit (never split across batches) and
         counts with its full size against the admission bound.
         """
-        return self._enqueue(tuple(payloads), single=False)
+        payloads = tuple(payloads)
+        return self._enqueue(payloads, single=False, width=len(payloads))
 
-    def _enqueue(self, payloads: Tuple, single: bool) -> Future:
-        count = len(payloads)
+    def submit_group(self, payload, width: int) -> Future:
+        """Enqueue one pre-flattened group payload standing for ``width`` units.
+
+        The fast path for frontends that decode a whole request straight
+        into one batch-shaped object (e.g. a binary frame lowered to a
+        :class:`~repro.predictors.batch.LoweredBatch`): the scheduler sees
+        a single payload, the process function must expand it to ``width``
+        results, and the future resolves to that result list.  Admission
+        control and the batch-size cap count the full width.
+        """
+        if width < 1:
+            raise ValueError("group width must be positive")
+        return self._enqueue((payload,), single=False, width=int(width))
+
+    def _enqueue(self, payloads: Tuple, single: bool, width: int) -> Future:
+        count = width
         future: Future = Future()
         with self._cond:
             if self._closed:
@@ -196,9 +225,13 @@ class MicroBatcher:
                     pending=pending, bound=self.max_pending, requested=count
                 )
             self._pending += count
-            self._entries.append(_Entry(payloads, future, single))
+            self._entries.append(_Entry(payloads, future, single, width))
             self.stats.record_admitted(self.label, count, self._pending)
-            self._cond.notify()
+            if self._waiting:
+                # Only wake the scheduler when it is actually parked; under
+                # sustained load it is already draining, and skipping the
+                # notify avoids a futex syscall per submission.
+                self._cond.notify()
         return future
 
     # -- scheduling ----------------------------------------------------------
@@ -208,7 +241,7 @@ class MicroBatcher:
         while entries and gathered < self.max_batch_size:
             entry = entries.popleft()
             batch.append(entry)
-            gathered += len(entry.payloads)
+            gathered += entry.width
         return gathered
 
     def _drain_once(self, stop: threading.Event) -> None:
@@ -216,7 +249,11 @@ class MicroBatcher:
         batch: List[_Entry] = []
         with self._cond:
             while not self._entries and not self._closed and not stop.is_set():
-                self._cond.wait(0.25)
+                self._waiting += 1
+                try:
+                    self._cond.wait(0.25)
+                finally:
+                    self._waiting -= 1
             if not self._entries:
                 return
             gathered = self._pop_locked(batch, 0)
@@ -228,7 +265,11 @@ class MicroBatcher:
                     if remaining <= 0:
                         break
                     if not self._entries:
-                        self._cond.wait(remaining)
+                        self._waiting += 1
+                        try:
+                            self._cond.wait(remaining)
+                        finally:
+                            self._waiting -= 1
                     if self._entries:
                         gathered = self._pop_locked(batch, gathered)
                     elif stop.is_set():
@@ -237,56 +278,82 @@ class MicroBatcher:
             self._flush(batch)
 
     def _flush(self, batch: List[_Entry]) -> None:
-        """Evaluate one batch and resolve (or fail) every future."""
-        live: List[_Entry] = [
-            entry for entry in batch if entry.future.set_running_or_notify_cancel()
-        ]
-        payloads: List = []
-        for entry in live:
-            payloads.extend(entry.payloads)
+        """Evaluate one batch and resolve (or fail) every future.
 
-        kernels = sum(len(entry.payloads) for entry in batch)
-        cancelled = kernels - len(payloads)
+        Leak-proof by construction: the pending count is released in a
+        ``finally``, so admission capacity returns even when the process
+        function, a result-shape mismatch, or future resolution misbehaves
+        — a failed batch must never wedge the admission bound shut.
+        """
+        kernels = sum(entry.width for entry in batch)
         failed = 0
-        error: Optional[BaseException] = None
-        results: List = []
-        if payloads:
-            try:
-                results = self._process(payloads)
-            except Exception as exc:  # noqa: BLE001 - forwarded to futures
-                error = exc
-                failed = len(payloads)
-
-        position = 0
-        for entry in live:
-            width = len(entry.payloads)
-            if error is not None:
-                entry.future.set_exception(error)
-            elif entry.single:
-                entry.future.set_result(results[position])
-            else:
-                entry.future.set_result(results[position : position + width])
-            position += width
-
-        now = time.perf_counter()
         latency_total = 0.0
         latency_max = 0.0
-        for entry in live:
-            latency = now - entry.submitted_at
-            latency_total += latency * len(entry.payloads)
-            latency_max = max(latency_max, latency)
+        resolve_s = 0.0
+        try:
+            live: List[_Entry] = [
+                entry
+                for entry in batch
+                if entry.future.set_running_or_notify_cancel()
+            ]
+            payloads: List = []
+            for entry in live:
+                payloads.extend(entry.payloads)
+            expected = sum(entry.width for entry in live)
+            cancelled = kernels - expected
 
-        with self._cond:
-            self._pending -= kernels
-            self._cond.notify_all()
-        # Cancelled kernels were never answered: they count against
-        # completion (as failures) so admitted == completed + failed holds.
-        self.stats.record_batch(
-            occupancy=kernels,
-            latency_total=latency_total,
-            latency_max=latency_max,
-            failed=failed + cancelled,
-        )
+            error: Optional[BaseException] = None
+            results: List = []
+            if payloads:
+                try:
+                    results = self._process(payloads)
+                    if len(results) != expected:
+                        raise ServingError(
+                            f"batcher {self.label!r}: process returned "
+                            f"{len(results)} results for {expected} "
+                            f"payload unit(s)"
+                        )
+                except Exception as exc:  # noqa: BLE001 - forwarded to futures
+                    error = exc
+                    failed = expected
+
+            resolve_start = time.perf_counter()
+            position = 0
+            for entry in live:
+                try:
+                    if error is not None:
+                        entry.future.set_exception(error)
+                    elif entry.single:
+                        entry.future.set_result(results[position])
+                    else:
+                        entry.future.set_result(
+                            results[position : position + entry.width]
+                        )
+                except Exception:  # pragma: no cover - future in a bad state
+                    pass  # never let one future wedge the whole lane
+                position += entry.width
+
+            now = time.perf_counter()
+            resolve_s = now - resolve_start
+            for entry in live:
+                latency = now - entry.submitted_at
+                latency_total += latency * entry.width
+                latency_max = max(latency_max, latency)
+            # Cancelled kernels were never answered: they count against
+            # completion (as failures) so admitted == completed + failed.
+            failed += cancelled
+        finally:
+            with self._cond:
+                self._pending -= kernels
+                self._cond.notify_all()
+            self.stats.record_batch(
+                occupancy=kernels,
+                latency_total=latency_total,
+                latency_max=latency_max,
+                failed=failed,
+            )
+            if resolve_s > 0.0:
+                self.stats.record_flush_phases(resolve=resolve_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

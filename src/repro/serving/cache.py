@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.artifacts import ArtifactRegistry, MappingArtifact
 from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
-from repro.predictors.batch import KernelLowering, MappingMatrix
+from repro.predictors.batch import KernelLowering, MappingMatrix, instruction_id
 from repro.serving.stats import ServingStats
 
 
@@ -43,7 +45,14 @@ class CompiledMapping:
     against.  Immutable once built; safe to share across threads.
     """
 
-    __slots__ = ("fingerprint", "machine_name", "mapping", "matrix", "instruction_by_name")
+    __slots__ = (
+        "fingerprint",
+        "machine_name",
+        "mapping",
+        "matrix",
+        "instruction_by_name",
+        "_dense",
+    )
 
     def __init__(self, artifact: MappingArtifact) -> None:
         self.fingerprint = artifact.machine_fingerprint
@@ -54,6 +63,30 @@ class CompiledMapping:
             instruction.name: instruction
             for instruction in artifact.mapping.instructions
         }
+        self._dense: Optional[Tuple[List[str], np.ndarray]] = None
+
+    def dense_instruction_table(self) -> Tuple[List[str], np.ndarray]:
+        """The binary wire format's instruction table, built lazily.
+
+        Returns ``(names, interned)``: the supported instruction names in
+        sorted order — a client's *dense id* for an instruction is its
+        index in this list, fixed for the connection at hello time — and
+        the aligned global interned ids the serving engine evaluates with.
+        Sorted-name order is exactly the scalar iteration order, so a
+        binary frame whose per-kernel dense ids ascend strictly replays
+        the bitwise accumulation order by construction.
+        """
+        dense = self._dense
+        if dense is None:
+            instructions = self.matrix.instructions  # sorted by name
+            names = [instruction.name for instruction in instructions]
+            interned = np.array(
+                [instruction_id(instruction) for instruction in instructions],
+                dtype=np.intp,
+            )
+            dense = (names, interned)
+            self._dense = dense  # idempotent: a race rebuilds the same table
+        return dense
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -154,6 +187,34 @@ class KernelLoweringCache:
                 evicted += 1
             self.stats.record_lowering_cache(hit=False, evicted=evicted)
             return lowering
+
+    def get_many(self, kernels: Sequence[Microkernel]) -> List[KernelLowering]:
+        """Lowerings for a whole group under one lock acquisition.
+
+        The multi-kernel submission path used to pay one lock round-trip
+        and one stats record per kernel; at serving rates that lock churn
+        was a measurable slice of the flush budget.  One acquisition per
+        group restores O(1) synchronization per request.
+        """
+        lowerings: List[KernelLowering] = []
+        hits = misses = evicted = 0
+        with self._lock:
+            cached = self._lowerings
+            for kernel in kernels:
+                lowering = cached.get(kernel)
+                if lowering is not None:
+                    cached.move_to_end(kernel)
+                    hits += 1
+                else:
+                    lowering = KernelLowering(kernel)
+                    cached[kernel] = lowering
+                    misses += 1
+                    while len(cached) > self.capacity:
+                        cached.popitem(last=False)
+                        evicted += 1
+                lowerings.append(lowering)
+            self.stats.record_lowering_cache_many(hits, misses, evicted)
+        return lowerings
 
     def __len__(self) -> int:
         with self._lock:

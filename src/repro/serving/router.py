@@ -17,6 +17,19 @@ the lane of its machine:
   share a matrix evaluation anyway), while requests for the same machine
   coalesce across all clients.
 
+Lane modes
+----------
+``lane_mode="thread"`` (the default) evaluates batches on the lane's
+scheduler thread.  ``lane_mode="process"`` ships each accumulated batch to
+a per-fingerprint :class:`~repro.runtime.ProcessWorkerLane` — a dedicated
+worker process fed through shared-memory numpy slabs — so the evaluation
+and its Python-side framing run outside the GIL entirely; the worker
+compiles its own matrix from the same registry artifact and evaluates
+against the parent's interned-id snapshot, keeping results bitwise-equal
+to the thread mode.  A host that cannot spawn the worker (no fork, shared
+memory exhausted) degrades to thread evaluation with a warning rather
+than failing the lane.
+
 Human-friendly addressing: :meth:`MachineRouter.resolve` maps a machine
 *name* to the fingerprint of its stored artifact, refusing unknown and
 ambiguous names with :class:`~repro.serving.errors.UnknownMachineError`.
@@ -25,15 +38,46 @@ ambiguous names with :class:`~repro.serving.errors.UnknownMachineError`.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.artifacts import ArtifactRegistry
-from repro.predictors.batch import KernelLowering, LoweredBatchBuilder
+from repro.predictors.batch import (
+    LoweredBatch,
+    LoweredBatchBuilder,
+    MappingMatrix,
+    predictions_from_arrays,
+)
 from repro.predictors.base import Prediction
+from repro.runtime import ProcessLaneError, ProcessWorkerLane
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import CompiledMapping, HotMappingCache
 from repro.serving.errors import ServiceClosedError, UnknownMachineError
 from repro.serving.stats import ServingStats
+
+
+def _process_lane_worker(context):
+    """Worker factory run inside a lane's process (module-level for spawn).
+
+    Builds the machine's :class:`MappingMatrix` from the registry artifact
+    — both sides load the same JSON, so block indices match positionally —
+    and evaluates every request against the parent's interned-id lookup
+    snapshot.  The returned handler maps the flat COO slabs straight to
+    ``(ipcs, fractions)`` response arrays.
+    """
+    registry_root, fingerprint, lut = context
+    registry = ArtifactRegistry(registry_root, readonly=True)
+    matrix = MappingMatrix(registry.load(fingerprint).mapping)
+    lut = np.asarray(lut, dtype=np.intp)
+
+    def handler(instruction_ids, counts, lengths, sizes):
+        batch = LoweredBatch(instruction_ids, counts, lengths, sizes)
+        return matrix.predict_lowered_arrays(batch, lut=lut)
+
+    return handler
 
 
 class MachineRouter:
@@ -47,14 +91,25 @@ class MachineRouter:
         max_batch_size: int = 512,
         max_wait_s: float = 0.0,
         max_pending: Optional[int] = 4096,
+        lane_mode: str = "thread",
     ) -> None:
+        if lane_mode not in ("thread", "process"):
+            raise ValueError(
+                f"lane_mode must be 'thread' or 'process', got {lane_mode!r}"
+            )
         self.stats = stats or ServingStats()
         self.cache = HotMappingCache(registry, cache_capacity, self.stats)
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.max_pending = max_pending
+        self.lane_mode = lane_mode
         self._lock = threading.Lock()
+        # Serializes worker-process creation: concurrent first requests for
+        # the same fingerprint would otherwise each spawn a worker and all
+        # but one be discarded.
+        self._process_spawn_lock = threading.Lock()
         self._lanes: Dict[str, MicroBatcher] = {}
+        self._process_lanes: Dict[str, ProcessWorkerLane] = {}
         self._name_index: Dict[str, List[str]] = {}
         self._name_index_stamp: Optional[float] = None
         self._started = False
@@ -76,6 +131,13 @@ class MachineRouter:
             lanes = list(self._lanes.values())
         for lane in lanes:
             lane.close(drain=drain)
+        # Stop worker processes only after the batchers drained: a pending
+        # flush may still need one last shared-memory round-trip.
+        with self._lock:
+            process_lanes = list(self._process_lanes.values())
+            self._process_lanes.clear()
+        for process_lane in process_lanes:
+            process_lane.stop()
 
     # -- routing -------------------------------------------------------------
     def lane_for(self, fingerprint: str) -> MicroBatcher:
@@ -96,9 +158,12 @@ class MachineRouter:
             lane = self._lanes.get(fingerprint)
             if lane is not None:
                 return lane
-        # Validate the artifact outside the lane-table lock (it may read
-        # from disk); `get` also pre-compiles the mapping into the cache.
+        # Validate the artifact and build the processor outside the
+        # lane-table lock: both may read from disk, and a process-mode
+        # processor spawns its worker (which re-enters the lock to
+        # register itself).  A lost creation race just discards the spare.
         self.cache.get(fingerprint)
+        processor = self._processor(fingerprint)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError(
@@ -107,7 +172,7 @@ class MachineRouter:
             lane = self._lanes.get(fingerprint)
             if lane is None:
                 lane = MicroBatcher(
-                    process=self._processor(fingerprint),
+                    process=processor,
                     label=fingerprint,
                     max_batch_size=self.max_batch_size,
                     max_wait_s=self.max_wait_s,
@@ -124,16 +189,108 @@ class MachineRouter:
         return self.cache.get(fingerprint)
 
     def _processor(self, fingerprint: str):
-        """The lane's process function: lowered batch -> predictions."""
-        builder = LoweredBatchBuilder()  # single scheduler thread per lane
+        """The lane's process function: lowered payloads -> predictions.
 
-        def process(lowerings: List[KernelLowering]) -> List[Prediction]:
-            compiled = self.cache.get(fingerprint)
-            for lowering in lowerings:
-                builder.append(lowering)
-            return compiled.matrix.predict_lowered(builder.take())
+        Payloads are :class:`~repro.predictors.batch.KernelLowering`
+        objects (the submission path) or whole pre-flattened
+        :class:`LoweredBatch` groups (the binary frontend); both accumulate
+        into one preallocated builder, evaluate in the lane's mode, and
+        come back as a flat prediction list.  Build and predict wall time
+        is attributed per flush into the shared stats — what the profiling
+        harness reads.
+        """
+        builder = LoweredBatchBuilder()  # single scheduler thread per lane
+        predict = self._arrays_predictor(fingerprint)
+        stats = self.stats
+
+        def process(payloads: List) -> List[Prediction]:
+            build_start = time.perf_counter()
+            for payload in payloads:
+                if isinstance(payload, LoweredBatch):
+                    builder.append_batch(payload)
+                else:
+                    builder.append(payload)
+            batch = builder.take()
+            predict_start = time.perf_counter()
+            ipcs, fractions = predict(batch)
+            done = time.perf_counter()
+            stats.record_flush_phases(
+                build=predict_start - build_start, predict=done - predict_start
+            )
+            return predictions_from_arrays(ipcs, fractions)
 
         return process
+
+    def _arrays_predictor(self, fingerprint: str):
+        """The mode-specific batch evaluator: LoweredBatch -> (ipcs, fractions)."""
+        if self.lane_mode == "process":
+            process_lane = self._ensure_process_lane(fingerprint)
+            if process_lane is not None:
+
+                def predict_in_worker(batch: LoweredBatch):
+                    return process_lane.call(
+                        batch.instruction_ids,
+                        batch.counts,
+                        batch.lengths,
+                        batch.sizes,
+                    )
+
+                return predict_in_worker
+            # Creation failed: degraded to thread evaluation (warned).
+
+        def predict_in_thread(batch: LoweredBatch):
+            # Per-flush cache lookup: an evicted mapping re-loads here.
+            return self.cache.get(fingerprint).matrix.predict_lowered_arrays(batch)
+
+        return predict_in_thread
+
+    def _ensure_process_lane(
+        self, fingerprint: str
+    ) -> Optional[ProcessWorkerLane]:
+        """The fingerprint's worker process, spawned on first use.
+
+        Returns ``None`` — after emitting a warning — when the worker
+        cannot be brought up, so the caller degrades to thread evaluation
+        instead of refusing the lane.
+        """
+        with self._process_spawn_lock:
+            with self._lock:
+                existing = self._process_lanes.get(fingerprint)
+                if existing is not None:
+                    return existing
+            compiled = self.cache.get(fingerprint)
+            lut = compiled.matrix.interned_lut_snapshot()
+            context = (str(self.cache.registry.root), fingerprint, lut)
+            try:
+                lane = ProcessWorkerLane(
+                    _process_lane_worker,
+                    context,
+                    name=f"lane-{fingerprint[:12]}",
+                ).start()
+            except (OSError, ProcessLaneError, ValueError) as error:
+                warnings.warn(
+                    f"process lane unavailable for {fingerprint[:16]} "
+                    f"({error!r}); falling back to thread-lane evaluation",
+                    stacklevel=3,
+                )
+                return None
+        with self._lock:
+            if self._closed:
+                spare = lane  # closed while spawning: nothing may own it
+                existing = None
+            else:
+                existing = self._process_lanes.get(fingerprint)
+                if existing is not None:  # lost a creation race
+                    spare = lane
+                else:
+                    self._process_lanes[fingerprint] = lane
+                    return lane
+        spare.stop()
+        if existing is None:
+            raise ServiceClosedError(
+                "the service is stopped; no new requests accepted"
+            )
+        return existing
 
     # -- name resolution -----------------------------------------------------
     def _registry_stamp(self) -> Optional[float]:

@@ -35,7 +35,9 @@ from repro.artifacts import ArtifactRegistry
 from repro.isa.instruction import Instruction
 from repro.mapping.microkernel import Microkernel
 from repro.predictors.base import Prediction
+from repro.predictors.batch import LoweredBatch
 from repro.serving.cache import CompiledMapping, KernelLoweringCache
+from repro.serving.errors import InvalidRequestError
 from repro.serving.router import MachineRouter
 from repro.serving.stats import ServingStats
 
@@ -61,6 +63,12 @@ class PredictionService:
         How many compiled machine mappings stay resident (LRU beyond).
     lowering_cache_capacity:
         How many per-kernel lowerings stay resident (LRU beyond).
+    lane_mode:
+        ``"thread"`` (default) evaluates batches on the lane scheduler
+        thread; ``"process"`` ships them to a per-machine shared-memory
+        worker process (GIL-free; bitwise-identical results), degrading
+        back to thread evaluation with a warning when the host cannot
+        spawn one.
 
     Examples
     --------
@@ -81,6 +89,7 @@ class PredictionService:
         max_pending: Optional[int] = 4096,
         mapping_cache_capacity: int = 8,
         lowering_cache_capacity: int = 65536,
+        lane_mode: str = "thread",
     ) -> None:
         if not isinstance(registry, ArtifactRegistry):
             registry = ArtifactRegistry(registry, readonly=True)
@@ -93,6 +102,7 @@ class PredictionService:
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             max_pending=max_pending,
+            lane_mode=lane_mode,
         )
         self._lowerings = KernelLoweringCache(
             capacity=lowering_cache_capacity, stats=self.stats
@@ -148,7 +158,21 @@ class PredictionService:
         network request maps to one future.
         """
         lane = self.router.lane_for(fingerprint)
-        return lane.submit_many([self._lowerings.get(k) for k in kernels])
+        return lane.submit_many(self._lowerings.get_many(kernels))
+
+    def submit_lowered(self, fingerprint: str, batch: "LoweredBatch") -> Future:
+        """Enqueue a pre-flattened batch as one group; resolves to a list.
+
+        The binary frontend's fast path: a decoded frame is already one
+        :class:`~repro.predictors.batch.LoweredBatch`, so the whole
+        request crosses the scheduler as a single payload — no per-kernel
+        Python object ever exists on the hot path.  Same admission,
+        batching and bitwise guarantees as :meth:`submit_many`.
+        """
+        if batch.num_kernels < 1:
+            raise InvalidRequestError("a lowered batch must carry kernels")
+        lane = self.router.lane_for(fingerprint)
+        return lane.submit_group(batch, batch.num_kernels)
 
     # -- blocking conveniences ----------------------------------------------
     def predict(
@@ -181,7 +205,9 @@ class PredictionService:
 
     def snapshot(self) -> dict:
         """JSON-ready view of the serving statistics."""
-        return self.stats.snapshot()
+        snap = self.stats.snapshot()
+        snap["lane_mode"] = self.router.lane_mode
+        return snap
 
 
 class ServicePredictor:

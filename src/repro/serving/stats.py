@@ -38,6 +38,11 @@ class ServingStats:
         # latency (seconds, monotonic-clock submit -> response)
         self.latency_total = 0.0
         self.latency_max = 0.0
+        # flush-phase attribution (seconds, scheduler-side): building the
+        # lowered batch, evaluating it, resolving futures
+        self.flush_build_s = 0.0
+        self.flush_predict_s = 0.0
+        self.flush_resolve_s = 0.0
         # hot-mapping cache
         self.mapping_cache_hits = 0
         self.mapping_cache_misses = 0
@@ -81,6 +86,20 @@ class ServingStats:
             self.latency_total += latency_total
             self.latency_max = max(self.latency_max, latency_max)
 
+    def record_flush_phases(
+        self, build: float = 0.0, predict: float = 0.0, resolve: float = 0.0
+    ) -> None:
+        """Attribute scheduler wall time to the phases of one flush.
+
+        This is what ``benchmarks/profile_serving.py`` reads to attribute
+        a concurrency ladder's wall time; the serving hot path records one
+        call per flush, never per request.
+        """
+        with self._lock:
+            self.flush_build_s += build
+            self.flush_predict_s += predict
+            self.flush_resolve_s += resolve
+
     def record_abandoned(self, count: int) -> None:
         """Admitted kernels failed at shutdown without reaching a batch.
 
@@ -107,6 +126,16 @@ class ServingStats:
                 self.lowering_cache_misses += 1
             self.lowering_cache_evictions += evicted
 
+    def record_lowering_cache_many(
+        self, hits: int, misses: int, evicted: int = 0
+    ) -> None:
+        """Batched form of :meth:`record_lowering_cache`: one lock for a
+        whole multi-kernel submission instead of one per kernel."""
+        with self._lock:
+            self.lowering_cache_hits += hits
+            self.lowering_cache_misses += misses
+            self.lowering_cache_evictions += evicted
+
     # -- views ---------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """A consistent, JSON-ready view of every counter plus derived rates."""
@@ -131,6 +160,9 @@ class ServingStats:
                     1e3 * self.latency_total / completed if completed else 0.0
                 ),
                 "latency_max_ms": 1e3 * self.latency_max,
+                "flush_build_ms_total": 1e3 * self.flush_build_s,
+                "flush_predict_ms_total": 1e3 * self.flush_predict_s,
+                "flush_resolve_ms_total": 1e3 * self.flush_resolve_s,
                 "mapping_cache_hits": self.mapping_cache_hits,
                 "mapping_cache_misses": self.mapping_cache_misses,
                 "mapping_cache_evictions": self.mapping_cache_evictions,

@@ -44,12 +44,22 @@ class SolveStats:
         Seconds spent constructing model structures (monotonic clock).
     solve_time:
         Seconds spent inside the backend solver (monotonic clock).
+    lp_workers_requested / lp_workers_effective:
+        The LP fan-out decision of the complete-mapping phase: how many
+        worker processes the configuration asked for and how many were
+        actually used after host sizing (a single-core host degrades a
+        multi-worker request to in-process solving — the fork and
+        serialization overhead buys no added CPU there).  ``0`` means the
+        record never went through the fan-out.  Merged with ``max`` (a
+        decision, not a quantity to accumulate).
     """
 
     model_builds: int = 0
     solves: int = 0
     build_time: float = 0.0
     solve_time: float = 0.0
+    lp_workers_requested: int = 0
+    lp_workers_effective: int = 0
 
     # -- combination ---------------------------------------------------------
     def merge(self, other: "SolveStats") -> "SolveStats":
@@ -58,6 +68,12 @@ class SolveStats:
         self.solves += other.solves
         self.build_time += other.build_time
         self.solve_time += other.solve_time
+        self.lp_workers_requested = max(
+            self.lp_workers_requested, other.lp_workers_requested
+        )
+        self.lp_workers_effective = max(
+            self.lp_workers_effective, other.lp_workers_effective
+        )
         return self
 
     def copy(self) -> "SolveStats":
@@ -66,6 +82,8 @@ class SolveStats:
             solves=self.solves,
             build_time=self.build_time,
             solve_time=self.solve_time,
+            lp_workers_requested=self.lp_workers_requested,
+            lp_workers_effective=self.lp_workers_effective,
         )
 
     @property
@@ -79,6 +97,8 @@ class SolveStats:
             "solves": self.solves,
             "build_time": self.build_time,
             "solve_time": self.solve_time,
+            "lp_workers_requested": self.lp_workers_requested,
+            "lp_workers_effective": self.lp_workers_effective,
         }
 
 
@@ -104,6 +124,8 @@ def reset_solver_stats() -> None:
     _GLOBAL.solves = 0
     _GLOBAL.build_time = 0.0
     _GLOBAL.solve_time = 0.0
+    _GLOBAL.lp_workers_requested = 0
+    _GLOBAL.lp_workers_effective = 0
 
 
 @contextlib.contextmanager
