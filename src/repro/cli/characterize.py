@@ -33,6 +33,22 @@ def add_characterize_arguments(parser: argparse.ArgumentParser) -> None:
         help="LPAUX solver worker processes (0 = in-process, the default)",
     )
     parser.add_argument(
+        "--lp-chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instructions per LPAUX solve chunk (default: auto-size so "
+        "every solver lane gets one chunk); an execution knob — it never "
+        "changes the mapping or invalidates stage checkpoints",
+    )
+    parser.add_argument(
+        "--lp-warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="seed LP solves from memoized incumbents of identical earlier "
+        "models (default: on; results are bitwise-identical either way)",
+    )
+    parser.add_argument(
         "--cache",
         metavar="PATH",
         default=None,
@@ -108,6 +124,8 @@ def run_characterize(args: argparse.Namespace) -> int:
         config,
         parallelism=args.parallelism,
         lp_parallelism=args.lp_parallelism,
+        lp_chunk_size=args.lp_chunk_size,
+        lp_warm_start=args.lp_warm_start,
         cache_path=args.cache,
     )
 

@@ -17,16 +17,25 @@ are batched:
   through the measurement layer (parallel dispatch + persistent cache,
   per ``PalmedConfig.parallelism`` / ``cache_path``);
 * the per-instruction weight problems — independent and identically
-  shaped — are fanned out over the shared
-  :class:`repro.runtime.ParallelRuntime` per ``PalmedConfig.lp_parallelism``,
-  each worker rebinding one compiled
-  :class:`~repro.palmed.lp2_weights.WeightModelCache` template per problem
-  shape instead of rebuilding LP structure per instruction.
+  shaped — are grouped into contiguous *chunks* (``lp_chunk_size``,
+  auto-sized to one chunk per requested lane) and executed on the
+  batched solver engine: chunk ``i`` is pinned to worker lane
+  ``i % lp_parallelism``, each lane is one long-lived process
+  (:class:`repro.runtime.LanePool`) whose
+  :class:`~repro.palmed.lp2_weights.WeightModelCache` — compiled
+  templates plus warm-start memos — persists across all of that lane's
+  chunks.  A host that cannot run lane processes (or a single-core
+  host, where fan-out buys no CPU) executes the *identical* lane-pinned
+  layout in-process (:func:`repro.runtime.run_chunks_in_process`).
 
-Both halves are bitwise-deterministic: the inferred usages are identical
-for every worker count and chunking (see ``tests/test_lp_parallel.py``),
-and :class:`CompleteMappingOutcome` reports the measurement/solve wall
-clocks separately so the pipeline can keep the paper's Table II
+Both halves are bitwise-deterministic: chunk layout and lane pinning are
+planned from the requested configuration (never from host sizing or
+scheduling), so the inferred usages *and* the deterministic solver
+counters — solve requests, model builds, warm-start hits, chunk count —
+are identical for every worker count, chunk size, warm-start setting and
+execution path (see ``tests/test_lp_parallel.py``).
+:class:`CompleteMappingOutcome` reports the measurement/solve wall clocks
+separately so the pipeline can keep the paper's Table II
 benchmarking-vs-LP-time split faithful.
 """
 
@@ -35,6 +44,7 @@ from __future__ import annotations
 import math
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -50,7 +60,13 @@ from repro.palmed.lp2_weights import (
     solve_weights_exact,
     solve_weights_heuristic,
 )
-from repro.runtime import ParallelRuntime
+from repro.runtime import (
+    LanePool,
+    LanePoolError,
+    ParallelRuntime,
+    lane_state,
+    run_chunks_in_process,
+)
 from repro.solvers import SolverError, SolveStats, record_stats, use_stats
 
 
@@ -155,7 +171,7 @@ def _prefetch_lpaux_benchmarks(
 
 
 # ---------------------------------------------------------------------------
-# Parallel fan-out over the shared runtime
+# Batched lane-pinned fan-out
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -174,14 +190,21 @@ def _solve_chunk(
 ) -> List[Tuple[Optional[Dict[int, float]], SolveStats]]:
     """Solve a chunk of per-instruction weight problems.
 
-    Runs identically in-process and inside pool workers: one
-    :class:`WeightModelCache` per chunk (identically-shaped problems rebind
-    its templates), per-instruction solver statistics captured locally so
-    the parent process can account work done in workers.  ``SolverError``
-    maps to ``None`` under ``on_error="skip"``; under ``"raise"`` it
-    propagates (out of the pool, with its original type).
+    Runs identically inside lane processes and in-process emulation: the
+    :class:`WeightModelCache` lives in :func:`repro.runtime.lane_state`,
+    so one lane's compiled templates *and* warm-start memos persist across
+    every chunk pinned to it — structure is built once per lane, later
+    chunks only rebind data.  Per-instruction solver statistics are
+    captured locally so the parent process can account work done in
+    workers.  ``SolverError`` maps to ``None`` under ``on_error="skip"``;
+    under ``"raise"`` it propagates (out of the lane, with its original
+    type).
     """
-    cache = WeightModelCache()
+    state = lane_state()
+    cache: Optional[WeightModelCache] = state.get("lpaux_cache")
+    if cache is None:
+        cache = WeightModelCache(warm_start=context.config.lp_warm_start)
+        state["lpaux_cache"] = cache
     results: List[Tuple[Optional[Dict[int, float]], SolveStats]] = []
     for instruction, observations in items:
         local = SolveStats()
@@ -201,6 +224,29 @@ def _solve_chunk(
             rho = None
         results.append((rho, local))
     return results
+
+
+def _plan_chunks(
+    num_items: int, lanes_requested: int, chunk_size: Optional[int]
+) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, size)`` chunks of the LPAUX item list.
+
+    Planned from the *requested* lane count and the configured chunk size
+    only — never from effective workers, host sizing or scheduling — so
+    the layout (and with it the lane-pinned cache/memo state evolution,
+    hence every deterministic solver counter) is identical on every host
+    and execution path.  ``chunk_size=None`` auto-sizes one chunk per
+    requested lane: LPAUX items are uniform constant-size problems, so
+    finer chunking buys no load balance.
+    """
+    if num_items == 0:
+        return []
+    if chunk_size is None:
+        chunk_size = math.ceil(num_items / max(1, lanes_requested))
+    return [
+        (start, min(chunk_size, num_items - start))
+        for start in range(0, num_items, chunk_size)
+    ]
 
 
 @dataclass
@@ -237,9 +283,12 @@ def run_complete_mapping(
         the paper's "instructions mapped" < "instructions supported" gap);
         ``"raise"`` propagates the solver error.
     runtime:
-        LP-solve executor; ``None`` builds one sized by
-        ``config.lp_parallelism``.  The inferred usages are bitwise
-        identical for every worker count.
+        Legacy executor override: when given, its ``workers`` and
+        ``chunk_size`` take the place of ``config.lp_parallelism`` /
+        ``config.lp_chunk_size`` in the chunk plan (and host-sizing
+        degradation is skipped — an explicit runtime is an explicit
+        demand).  Execution always goes through the lane-pinned engine;
+        the inferred usages are bitwise identical for every setting.
     """
     core_instructions = set(core.basic_rho)
     remaining = [
@@ -256,25 +305,27 @@ def run_complete_mapping(
     ]
     measurement_time = time.monotonic() - measure_start
 
-    lp_workers_requested = lp_workers_effective = 0
-    if runtime is None:
+    if runtime is not None:
+        lp_workers_requested = max(1, runtime.workers)
+        lp_workers_effective = lp_workers_requested
+        chunk_size = runtime.chunk_size
+    else:
         lp_workers_requested = config.lp_parallelism
         lp_workers_effective = lp_workers_requested
         if lp_workers_requested > 1 and (os.cpu_count() or 1) <= 1:
-            # A single-core host gains nothing from LP worker processes:
-            # every fork pays serialization and scheduler churn for zero
-            # added CPU.  Results are bitwise-identical either way, so
-            # degrade to in-process solving and record the decision.
+            # A single-core host gains nothing from LP worker lanes: every
+            # fork pays serialization and scheduler churn for zero added
+            # CPU.  The chunk plan below is lane-pinned from the
+            # *requested* count, so counters are bitwise-identical either
+            # way; only the execution strategy degrades.  Recorded in
+            # lp_workers_requested/effective.
             lp_workers_effective = 1
-        # One chunk per worker: LPAUX items are uniform (constant-size
-        # problems), so finer chunking buys no load balance and each extra
-        # chunk rebuilds its WeightModelCache templates once more.
-        chunk_size = None
-        if lp_workers_effective > 1 and items:
-            chunk_size = math.ceil(len(items) / lp_workers_effective)
-        runtime = ParallelRuntime(
-            workers=lp_workers_effective, chunk_size=chunk_size
-        )
+        chunk_size = config.lp_chunk_size
+
+    lanes = max(1, lp_workers_requested)
+    plan = _plan_chunks(len(items), lanes, chunk_size)
+    chunks = [items[start : start + size] for start, size in plan]
+
     context = _LpauxContext(
         num_resources=core.num_resources,
         frozen_rho=core.basic_rho,
@@ -282,13 +333,39 @@ def run_complete_mapping(
         on_error=on_error,
     )
     solve_start = time.monotonic()
-    results = runtime.run(_solve_chunk, items, context=context)
+    chunk_results: Optional[List[List[Tuple[Optional[Dict[int, float]], SolveStats]]]]
+    chunk_results = None
+    if lp_workers_effective > 1 and len(chunks) > 1:
+        # Fewer chunks than lanes leaves the tail lanes unused; chunk i
+        # still lands on lane i either way, so capping changes nothing in
+        # the deterministic layout.
+        pool_lanes = min(lanes, len(chunks))
+        pool = LanePool(pool_lanes, name="lp-lane")
+        try:
+            chunk_results = pool.run(_solve_chunk, chunks, context=context)
+            lp_workers_effective = pool_lanes
+        except LanePoolError as error:
+            # Environments without working lane processes degrade to the
+            # identical in-process layout rather than failing the phase.
+            warnings.warn(
+                f"LP worker lanes unavailable ({error!r}); "
+                "falling back to in-process solving",
+                stacklevel=2,
+            )
+            lp_workers_effective = 1
+    elif lp_workers_effective > 1:
+        # Nothing to fan out (zero or one chunk): solve in-process.
+        lp_workers_effective = 1
+    if chunk_results is None:
+        chunk_results = run_chunks_in_process(_solve_chunk, chunks, context, lanes)
     solve_time = time.monotonic() - solve_start
 
     mapped: Dict[Instruction, Dict[int, float]] = {}
     stats = SolveStats()
     stats.lp_workers_requested = lp_workers_requested
     stats.lp_workers_effective = lp_workers_effective
+    stats.lp_chunks = len(chunks)
+    results = [result for chunk in chunk_results for result in chunk]
     for (instruction, _), (rho, local) in zip(items, results):
         stats.merge(local)
         if rho is not None:

@@ -91,6 +91,26 @@ class PalmedConfig:
         over the shared :class:`repro.runtime.ParallelRuntime`.  ``0`` or
         ``1`` solves them in-process.  The inferred mapping is bitwise
         identical for every setting (see ``tests/test_lp_parallel.py``).
+    lp_chunk_size:
+        Number of LPAUX instructions per solve chunk of the batched
+        complete-mapping engine.  ``None`` (the default) auto-sizes one
+        chunk per requested worker lane.  Chunk layout is planned from
+        the *requested* parallelism, never from host sizing or
+        scheduling, so mappings and deterministic solver counters are
+        identical for every value and on every host.  Like
+        ``lp_parallelism``, this is an execution knob: it is not part of
+        any stage's declared config fields, so changing it never
+        invalidates stage checkpoints (a resumed run keeps the counters
+        of the run that produced the checkpoint).
+    lp_warm_start:
+        Enable the incumbent memo of the solver templates
+        (:class:`repro.solvers.ModelTemplate`): solve requests whose
+        bound problem matches an already-solved one bit-for-bit are
+        answered from the memo without invoking the backend.  Mappings,
+        objective values and deterministic solver counters are identical
+        with the memo on or off (``solves`` counts requests; hits are
+        additionally visible in ``warm_start_hits``).  Also an execution
+        knob, excluded from stage config hashes.
     cache_path:
         Optional path of the persistent on-disk measurement cache
         (:class:`repro.measure.MeasurementCache`).  ``None`` disables
@@ -120,6 +140,8 @@ class PalmedConfig:
     milp_time_limit: float = 120.0
     parallelism: int = 0
     lp_parallelism: int = 0
+    lp_chunk_size: Optional[int] = None
+    lp_warm_start: bool = True
     cache_path: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -127,6 +149,8 @@ class PalmedConfig:
             raise ValueError("parallelism must be non-negative")
         if self.lp_parallelism < 0:
             raise ValueError("lp_parallelism must be non-negative")
+        if self.lp_chunk_size is not None and self.lp_chunk_size < 1:
+            raise ValueError("lp_chunk_size must be positive (or None for auto)")
         if self.n_basic is not None and self.n_basic < 2:
             raise ValueError("n_basic must be at least 2 (or None for automatic sizing)")
         if self.n_basic_cap < 2:

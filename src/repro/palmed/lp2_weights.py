@@ -42,6 +42,7 @@ per-instruction problems rebind data instead of rebuilding structure (see
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -49,6 +50,7 @@ from repro.isa.instruction import Instruction
 from repro.palmed.config import PalmedConfig
 from repro.palmed.lp1_shape import KernelObservation
 from repro.solvers import ModelBuilder, ModelTemplate
+from repro.solvers.stats import record_rebind
 
 
 @dataclass
@@ -181,6 +183,7 @@ class _BwpTemplate:
         num_resources: int,
         edges: Tuple[Tuple[int, ...], ...],
         present: Tuple[Tuple[int, ...], ...],
+        warm_start: bool = False,
     ) -> None:
         self.mode = mode
         self.num_resources = num_resources
@@ -255,11 +258,12 @@ class _BwpTemplate:
         for s_col in self.s_cols:
             objective[s_col] = 1.0
         builder.set_objective(objective, maximize=True)
-        self.template: ModelTemplate = builder.build()
+        self.template: ModelTemplate = builder.build(warm_start=warm_start)
 
     # -- binding -------------------------------------------------------------
     def bind(self, problem: WeightProblem) -> _BoundData:
         """Write a problem's data into the template (full rebind)."""
+        started = time.monotonic()
         template = self.template
         upper = (
             math.inf if problem.rho_upper_bound is None else problem.rho_upper_bound
@@ -310,12 +314,14 @@ class _BwpTemplate:
                             template.set_entry(
                                 self.sdef_entries[(k, resource, fi)], -coeff[fi]
                             )
+        record_rebind(time.monotonic() - started)
         return _BoundData(coefficients=coefficients, constants=constants)
 
     def bind_assignment(
         self, data: _BoundData, assignment: Sequence[int]
     ) -> None:
         """Heuristic mode: point every S row at its assigned resource."""
+        started = time.monotonic()
         template = self.template
         for k, assigned in enumerate(assignment):
             template.set_row_bounds(
@@ -328,6 +334,7 @@ class _BwpTemplate:
                         self.s_entries[(k, fi, resource)],
                         -coefficient if resource == assigned else 0.0,
                     )
+        record_rebind(time.monotonic() - started)
 
     # -- extraction ----------------------------------------------------------
     def extract_rho(
@@ -351,11 +358,16 @@ class WeightModelCache:
     LPAUX solves one constant-shape problem per instruction; within one
     cache, problems sharing a :func:`_structure_signature` rebind data into
     the same compiled :class:`ModelTemplate` instead of rebuilding it.
-    The cache is cheap enough to keep per worker process — the parallel
-    complete-mapping phase creates one per work chunk.
+    The cache is cheap enough to keep per worker lane — the batched
+    complete-mapping phase keeps one per lane across all of that lane's
+    chunks.  With ``warm_start=True`` every template it compiles also
+    memoizes solved incumbents (see :class:`repro.solvers.ModelTemplate`),
+    so instructions in the same behavioral equivalence class — whose bound
+    problems are byte-identical — collapse to a single backend solve.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, warm_start: bool = False) -> None:
+        self.warm_start = warm_start
         self._templates: Dict[tuple, _BwpTemplate] = {}
 
     def template_for(self, problem: WeightProblem, mode: str) -> _BwpTemplate:
@@ -363,7 +375,9 @@ class WeightModelCache:
         template = self._templates.get(signature)
         if template is None:
             mode_, num_resources, edges, present = signature
-            template = _BwpTemplate(mode_, num_resources, edges, present)
+            template = _BwpTemplate(
+                mode_, num_resources, edges, present, warm_start=self.warm_start
+            )
             self._templates[signature] = template
         return template
 
@@ -375,14 +389,21 @@ class WeightModelCache:
     def num_solves(self) -> int:
         return sum(t.template.solve_count for t in self._templates.values())
 
+    @property
+    def num_warm_hits(self) -> int:
+        return sum(t.template.warm_start_hits for t in self._templates.values())
+
 
 def _template_for(
-    problem: WeightProblem, mode: str, cache: Optional[WeightModelCache]
+    problem: WeightProblem,
+    mode: str,
+    cache: Optional[WeightModelCache],
+    warm_start: bool = False,
 ) -> _BwpTemplate:
     if cache is not None:
         return cache.template_for(problem, mode)
     mode_, num_resources, edges, present = _structure_signature(problem, mode)
-    return _BwpTemplate(mode_, num_resources, edges, present)
+    return _BwpTemplate(mode_, num_resources, edges, present, warm_start=warm_start)
 
 
 def _finalize(
@@ -408,7 +429,9 @@ def solve_weights_exact(
     cache: Optional[WeightModelCache] = None,
 ) -> WeightSolution:
     """Exact BWP: per-kernel binaries select the saturated resource."""
-    bwp = _template_for(problem, "exact", cache)
+    bwp = _template_for(
+        problem, "exact", cache, warm_start=getattr(config, "lp_warm_start", False)
+    )
     bwp.bind(problem)
     solution = bwp.template.solve(time_limit=config.milp_time_limit)
 
@@ -456,7 +479,9 @@ def solve_weights_heuristic(
         best = max(range(num_resources), key=lambda r: potential_usage(observation, r))
         assignment.append(best)
 
-    bwp = _template_for(problem, "heuristic", cache)
+    bwp = _template_for(
+        problem, "heuristic", cache, warm_start=getattr(config, "lp_warm_start", False)
+    )
     data = bwp.bind(problem)
 
     best_result: Optional[WeightSolution] = None

@@ -249,18 +249,39 @@ class SelectionStage(Stage):
 # ---------------------------------------------------------------------------
 
 def _solve_stats_to_payload(stats: SolveStats) -> Dict[str, int]:
-    """The deterministic half of a solver record (counts only)."""
-    return {"model_builds": stats.model_builds, "solves": stats.solves}
+    """The deterministic half of a solver record (counts only).
+
+    Warm-start hits, rebinds and chunk counts are deterministic functions
+    of the configuration, so they belong in the hashed payload; limit
+    outcomes and gaps are machine-speed dependent and ship with the times
+    under ``_nondeterministic`` instead.
+    """
+    return {
+        "model_builds": stats.model_builds,
+        "solves": stats.solves,
+        "warm_start_hits": stats.warm_start_hits,
+        "rebinds": stats.rebinds,
+        "lp_chunks": stats.lp_chunks,
+    }
 
 
 def _solve_stats_from_payload(
     counts: Dict[str, int], times: Dict[str, float]
 ) -> SolveStats:
+    # ``.get`` defaults keep checkpoints written before the batched solver
+    # engine loadable: their records simply report zero for the new
+    # counters.
     return SolveStats(
         model_builds=int(counts["model_builds"]),
         solves=int(counts["solves"]),
+        warm_start_hits=int(counts.get("warm_start_hits", 0)),
+        rebinds=int(counts.get("rebinds", 0)),
+        lp_chunks=int(counts.get("lp_chunks", 0)),
+        limit_solves=int(times.get("limit_solves", 0)),
+        worst_mip_gap=float(times.get("worst_mip_gap", 0.0)),
         build_time=float(times.get("build_time", 0.0)),
         solve_time=float(times.get("solve_time", 0.0)),
+        rebind_time=float(times.get("rebind_time", 0.0)),
     )
 
 
@@ -318,6 +339,9 @@ class CoreMappingStage(Stage):
                 "lp_time": output.lp_time,
                 "build_time": output.solver_stats.build_time,
                 "solve_time": output.solver_stats.solve_time,
+                "rebind_time": output.solver_stats.rebind_time,
+                "limit_solves": output.solver_stats.limit_solves,
+                "worst_mip_gap": output.solver_stats.worst_mip_gap,
             },
         }
 
@@ -390,6 +414,10 @@ class CompleteMappingStage(Stage):
         "edge_threshold",
         "milp_time_limit",
     )
+    # Execution knobs (lp_parallelism, lp_chunk_size, lp_warm_start) are
+    # deliberately absent: they change how the solves are *scheduled*, never
+    # which mapping comes out, so flipping them must not invalidate an
+    # existing checkpoint of this stage.
 
     def run(self, context: StageContext, inputs: Dict[str, object]) -> CompleteMappingOutcome:
         quadratic: QuadraticOutcome = inputs["quadratic"]
@@ -407,6 +435,9 @@ class CompleteMappingStage(Stage):
                 "solve_time_wall": output.solve_time,
                 "build_time": output.solver_stats.build_time,
                 "solve_time": output.solver_stats.solve_time,
+                "rebind_time": output.solver_stats.rebind_time,
+                "limit_solves": output.solver_stats.limit_solves,
+                "worst_mip_gap": output.solver_stats.worst_mip_gap,
             },
         }
 
@@ -512,8 +543,14 @@ class FinalizeStage(Stage):
             ),
             lp_solves=lp_stats.solves,
             lp_model_builds=lp_stats.model_builds,
+            lp_warm_start_hits=lp_stats.warm_start_hits,
+            lp_rebinds=lp_stats.rebinds,
+            lp_chunks=lp_stats.lp_chunks,
+            lp_limit_solves=lp_stats.limit_solves,
+            lp_worst_mip_gap=lp_stats.worst_mip_gap,
             lp_build_time=lp_stats.build_time,
             lp_solve_time=lp_stats.solve_time,
+            lp_rebind_time=lp_stats.rebind_time,
         )
         return FinalOutcome(mapping=mapping, stats=stats)
 

@@ -17,14 +17,29 @@ Two primitives, two workload shapes:
   through POSIX shared memory.  Serving lanes use it in
   ``--lane-mode process`` to move batch evaluation (and its Python-side
   result framing) off the request threads entirely.
+* :class:`LanePool` — the *batch-solving* substrate: long-lived worker
+  processes with lane-pinned chunk assignment and persistent lane-local
+  state (:func:`lane_state`), plus an exact in-process emulation
+  (:func:`run_chunks_in_process`).  The batched complete-mapping solver
+  engine runs its LPAUX chunks on it.
 """
 
+from repro.runtime.lane_pool import (
+    LanePool,
+    LanePoolError,
+    lane_state,
+    run_chunks_in_process,
+)
 from repro.runtime.lanes import ProcessLaneError, ProcessWorkerLane, WorkerLane
 from repro.runtime.pool import ParallelRuntime
 
 __all__ = [
+    "LanePool",
+    "LanePoolError",
     "ParallelRuntime",
     "ProcessLaneError",
     "ProcessWorkerLane",
     "WorkerLane",
+    "lane_state",
+    "run_chunks_in_process",
 ]

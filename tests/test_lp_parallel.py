@@ -47,12 +47,13 @@ def lpaux_setup():
     return machine, config, runner, instructions, core
 
 
-class TestCompleteMappingDifferential:
-    @pytest.fixture(scope="class")
-    def serial_outcome(self, lpaux_setup):
-        _, config, runner, instructions, core = lpaux_setup
-        return run_complete_mapping(runner, instructions, core, config)
+@pytest.fixture(scope="module")
+def serial_outcome(lpaux_setup):
+    _, config, runner, instructions, core = lpaux_setup
+    return run_complete_mapping(runner, instructions, core, config)
 
+
+class TestCompleteMappingDifferential:
     def test_lpaux_maps_instructions(self, serial_outcome):
         # Sanity: the fixture actually exercises the phase under test.
         assert len(serial_outcome.mapped) > 0
@@ -95,6 +96,100 @@ class TestCompleteMappingDifferential:
         # and the sum bounded by a fresh wall clock measurement elsewhere.
         assert serial_outcome.measurement_time >= 0.0
         assert serial_outcome.solve_time > 0.0
+
+
+class TestWarmStartDifferential:
+    """Cold vs warm solves: identical mapping, identical request counters."""
+
+    def test_cold_and_warm_runs_bitwise_identical(self, lpaux_setup):
+        _, config, runner, instructions, core = lpaux_setup
+        cold = run_complete_mapping(
+            runner,
+            instructions,
+            core,
+            dataclasses.replace(config, lp_warm_start=False),
+        )
+        warm = run_complete_mapping(
+            runner,
+            instructions,
+            core,
+            dataclasses.replace(config, lp_warm_start=True),
+        )
+        assert warm.mapped == cold.mapped
+        # ``solves`` counts requests (a memo hit counts too) and the chunk
+        # layout is identical, so every deterministic counter matches.
+        assert warm.solver_stats.solves == cold.solver_stats.solves
+        assert warm.solver_stats.model_builds == cold.solver_stats.model_builds
+        assert warm.solver_stats.rebinds == cold.solver_stats.rebinds
+        assert warm.solver_stats.lp_chunks == cold.solver_stats.lp_chunks
+        # The attribution differs: only the warm run skipped backend work.
+        assert cold.solver_stats.warm_start_hits == 0
+        assert warm.solver_stats.warm_start_hits > 0
+        assert warm.solver_stats.backend_solves < cold.solver_stats.backend_solves
+
+
+class TestChunkedExecutionDifferential:
+    """The chunk layout is planned, not scheduled: counters are exact."""
+
+    def test_serial_run_is_one_chunk(self, serial_outcome):
+        assert serial_outcome.solver_stats.lp_chunks == 1
+        # lp_parallelism=0 means "in-process": no worker lanes requested.
+        assert serial_outcome.solver_stats.lp_workers_requested == 0
+        assert serial_outcome.solver_stats.lp_workers_effective == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    def test_solve_requests_invariant_across_layouts(
+        self, lpaux_setup, serial_outcome, chunk_size
+    ):
+        _, config, runner, instructions, core = lpaux_setup
+        chunked = run_complete_mapping(
+            runner,
+            instructions,
+            core,
+            dataclasses.replace(config, lp_parallelism=2, lp_chunk_size=chunk_size),
+        )
+        assert chunked.mapped == serial_outcome.mapped
+        assert chunked.solver_stats.solves == serial_outcome.solver_stats.solves
+
+    def test_real_lanes_and_emulation_agree_exactly(self, lpaux_setup):
+        _, config, runner, instructions, core = lpaux_setup
+        # An explicit runtime runs real lane processes even on a one-core
+        # host (explicit demand skips the host-sizing degradation) ...
+        real = run_complete_mapping(
+            runner,
+            instructions,
+            core,
+            config,
+            runtime=ParallelRuntime(workers=4, chunk_size=2),
+        )
+        # ... while the config path may degrade to the in-process
+        # emulation of the *same* requested layout.  Both paths must agree
+        # on the mapping and on every deterministic counter.
+        emulated = run_complete_mapping(
+            runner,
+            instructions,
+            core,
+            dataclasses.replace(config, lp_parallelism=4, lp_chunk_size=2),
+        )
+        assert real.mapped == emulated.mapped
+        for name in ("model_builds", "solves", "warm_start_hits", "rebinds", "lp_chunks"):
+            assert getattr(real.solver_stats, name) == getattr(
+                emulated.solver_stats, name
+            ), name
+        assert real.solver_stats.lp_chunks > 1
+        assert real.solver_stats.lp_workers_requested == 4
+        assert emulated.solver_stats.lp_workers_requested == 4
+
+    def test_chunked_counters_repeatable(self, lpaux_setup):
+        _, config, runner, instructions, core = lpaux_setup
+        chunked_config = dataclasses.replace(config, lp_parallelism=3, lp_chunk_size=2)
+        first = run_complete_mapping(runner, instructions, core, chunked_config)
+        second = run_complete_mapping(runner, instructions, core, chunked_config)
+        assert first.mapped == second.mapped
+        for name in ("model_builds", "solves", "warm_start_hits", "rebinds", "lp_chunks"):
+            assert getattr(first.solver_stats, name) == getattr(
+                second.solver_stats, name
+            ), name
 
 
 class TestPipelineDifferential:
@@ -149,6 +244,15 @@ class TestPipelineDifferential:
         assert stats.lp_solves > 0
         assert stats.lp_model_builds > 0
         assert stats.lp_solve_time > 0.0
+        # Batched-engine attribution: warm starts are on by default, LPAUX
+        # ran as at least one chunk, rebinds drive the template reuse.
+        assert stats.lp_warm_start_hits > 0
+        assert stats.lp_chunks >= 1
+        assert stats.lp_rebinds > 0
         rows = dict(stats.as_table_rows())
         assert rows["  LP solves"] == str(stats.lp_solves)
         assert rows["  LP model builds"] == str(stats.lp_model_builds)
+        assert rows["  LP warm-start hits"] == str(stats.lp_warm_start_hits)
+        assert rows["  LP rebinds / chunks"] == (
+            f"{stats.lp_rebinds} / {stats.lp_chunks}"
+        )

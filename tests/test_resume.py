@@ -143,6 +143,72 @@ class TestFullyWarmRun:
         assert warm.stats.lp_solves == cold.stats.lp_solves
 
 
+class TestChunkedConfigResume:
+    """The batched solver engine checkpoints and resumes with exact counters."""
+
+    @staticmethod
+    def chunked_config() -> PalmedConfig:
+        import dataclasses
+
+        return dataclasses.replace(
+            fast_config(), lp_parallelism=3, lp_chunk_size=2, lp_warm_start=True
+        )
+
+    @staticmethod
+    def run(machine, registry, config, resume=False, stop_after=None):
+        backend = PortModelBackend(machine)
+        palmed = Palmed(
+            backend,
+            machine.benchmarkable_instructions(),
+            config,
+            registry=registry,
+            resume=resume,
+        )
+        if stop_after is None:
+            return palmed.run()
+        with pytest.raises(PipelineInterrupted):
+            palmed.run(stop_after=stop_after)
+        return None
+
+    def test_chunked_run_resumes_with_exact_counters(self, machine, tmp_path):
+        config = self.chunked_config()
+        cold = self.run(machine, ArtifactRegistry(tmp_path / "cold"), config)
+        assert cold.stats.lp_chunks > 1, "the config did not actually chunk"
+        assert cold.stats.lp_warm_start_hits >= 0
+
+        registry = ArtifactRegistry(tmp_path / "crash")
+        self.run(machine, registry, config, stop_after="complete")
+        resumed = self.run(machine, registry, config, resume=True)
+        assert resumed.mapping.to_json() == cold.mapping.to_json()
+        assert resumed.stats.deterministic_dict() == cold.stats.deterministic_dict()
+        # The batched-engine counters specifically: restored from the
+        # checkpoint payloads, not recomputed, and still exact.
+        for name in (
+            "lp_solves",
+            "lp_model_builds",
+            "lp_warm_start_hits",
+            "lp_rebinds",
+            "lp_chunks",
+        ):
+            assert getattr(resumed.stats, name) == getattr(cold.stats, name), name
+
+    def test_execution_knobs_do_not_invalidate_checkpoints(self, machine, tmp_path):
+        import dataclasses
+
+        config = self.chunked_config()
+        registry = ArtifactRegistry(tmp_path / "knobs")
+        self.run(machine, registry, config)
+        # Flip every execution knob: they change how solves are scheduled,
+        # never what is computed, so all five stages must still hit.
+        flipped = dataclasses.replace(
+            config, lp_parallelism=0, lp_chunk_size=None, lp_warm_start=False
+        )
+        warm = self.run(machine, registry, flipped, resume=True)
+        assert all(warm.stats.stage_checkpoint_hits.values()), (
+            warm.stats.stage_checkpoint_hits
+        )
+
+
 class TestResultFidelity:
     """Restored intermediate results must round-trip structurally too."""
 
