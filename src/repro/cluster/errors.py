@@ -1,0 +1,102 @@
+"""Typed refusals of the distributed serving tier.
+
+The cluster layer extends the serving layer's refusal philosophy
+(:mod:`repro.serving.errors`) across machine boundaries: a node that
+cannot be reached, a replica whose sync failed validation, a cluster
+whose every candidate node refused a request — each is a dedicated
+exception type carrying the routing context, never a silent drop.
+
+The degradation ladder is typed end to end:
+
+* a transport failure against one node (connect refused, timeout, the
+  link dying mid-exchange) becomes :class:`NodeUnavailableError` after
+  the per-node retry budget is spent — the coordinator *fails over* to
+  the next replica in the fingerprint's preference list;
+* when every candidate node is down, overloaded or refusing, the
+  coordinator raises :class:`ClusterOverloadedError` — a subclass of
+  :class:`~repro.serving.errors.ServiceOverloadedError`, so upstream
+  clients written against the single-node service handle the cluster's
+  refusal with the same backoff logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.serving.errors import ServiceOverloadedError, ServingError
+
+
+class ClusterError(ServingError):
+    """Base class for distributed-serving failures."""
+
+
+class NodeUnavailableError(ClusterError):
+    """One serving node could not answer within its retry budget.
+
+    Carries the node identity and the underlying cause so the coordinator
+    can record the failure and fail over; it never propagates upstream on
+    its own — either a replica answers, or the aggregate refusal is a
+    :class:`ClusterOverloadedError`.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.attempts = attempts
+        self.cause = cause
+        detail = f": {type(cause).__name__}: {cause}" if cause is not None else ""
+        super().__init__(
+            f"node {node_id!r} unavailable after {attempts} attempt(s){detail}"
+        )
+
+
+class ClusterOverloadedError(ServiceOverloadedError):
+    """Every candidate node refused or failed a routed request.
+
+    Subclasses :class:`~repro.serving.errors.ServiceOverloadedError` so a
+    client of the coordinator applies the same retry-with-backoff handling
+    it would against a single overloaded node — the cluster never answers
+    with anything less specific than the single-node tier would.
+    """
+
+    def __init__(
+        self,
+        fingerprint: str,
+        attempted: List[str],
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.attempted = list(attempted)
+        self.last_error = last_error
+        # Deliberately skip ServiceOverloadedError.__init__: the cluster
+        # refusal aggregates many nodes, so the single-queue (pending,
+        # bound) shape does not apply.  Keep the attributes present with
+        # neutral values for callers that introspect them.
+        self.pending = 0
+        self.bound = 0
+        self.requested = 1
+        detail = (
+            f" (last: {type(last_error).__name__}: {last_error})"
+            if last_error is not None
+            else ""
+        )
+        RuntimeError.__init__(
+            self,
+            f"no node could serve fingerprint {fingerprint[:16]}…: "
+            f"tried {', '.join(attempted) or 'no candidates'}{detail} — "
+            f"the cluster is overloaded or partitioned; retry with backoff",
+        )
+
+
+class ReplicaSyncError(ClusterError):
+    """An artifact replication failed hash validation.
+
+    Raised *before* the replica is installed: the copy is staged to a
+    temporary file, its content hash compared against the source, and on
+    mismatch the staged file is discarded — a corrupted sync can never
+    land a corrupted artifact in a node's replica directory.
+    """

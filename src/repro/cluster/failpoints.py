@@ -1,0 +1,196 @@
+"""Deterministic in-process fault injection for the cluster tier.
+
+Distributed behaviour — failover, retry, replica validation — must be
+testable without real network chaos.  The cluster components call named
+**failpoint sites** at the exact moments a fault could occur in
+production; a test *arms* a site with an action and the component
+misbehaves on cue, deterministically (no randomness, no timing races):
+
+=============================  ===================================================
+site                           fired
+=============================  ===================================================
+``("node.connect", node_id)``  before the coordinator opens a connection
+``("node.request", node_id)``  before each forwarded request attempt
+``("node.send", node_id)``     as a payload transform on the outgoing bytes
+``("sync.copy", key)``         as a payload transform on a replicated artifact
+=============================  ===================================================
+
+Actions model the failure modes of the ISSUE's harness:
+
+* :func:`fail` — raise a typed exception (node death: the link refuses
+  or dies mid-exchange);
+* :func:`delay` — sleep before proceeding (slow node);
+* :func:`truncate` — cut the outgoing payload short and poison the
+  connection (partial write);
+* :func:`corrupt` — flip bytes in a replicated artifact (stale/corrupted
+  replica, caught by the sync layer's hash validation).
+
+Every action has a deterministic firing window: skip the first ``after``
+matches, then fire ``times`` times (``None`` = forever).  Hit counts are
+queryable (:meth:`Failpoints.hits`) so tests assert the fault actually
+triggered, not just that nothing broke.
+
+Components take a :class:`Failpoints` instance (default: a private inert
+one), so production paths pay one dict lookup per site when nothing is
+armed and tests inject faults without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+#: An action either performs a side effect (raise, sleep) when given no
+#: payload, or transforms a ``bytes`` payload at transform sites.
+Action = Callable[[Optional[bytes]], Optional[bytes]]
+
+
+def fail(exception_factory: Callable[[], BaseException]) -> Action:
+    """An action that raises a fresh exception on every firing."""
+
+    def action(payload: Optional[bytes]) -> Optional[bytes]:
+        raise exception_factory()
+
+    return action
+
+
+def delay(seconds: float) -> Action:
+    """An action that sleeps — a slow node, not a dead one."""
+
+    def action(payload: Optional[bytes]) -> Optional[bytes]:
+        time.sleep(seconds)
+        return payload
+
+    return action
+
+
+def truncate(fraction: float = 0.5, minimum: int = 1) -> Action:
+    """A transform that cuts a payload short (a partial write).
+
+    The caller (the coordinator's node connection) detects the shortened
+    payload, ships only the fragment, and poisons the connection — the
+    peer observes a half-written request followed by a dead link, exactly
+    like a sender crashing mid-``send``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("truncate fraction must be in [0, 1)")
+
+    def action(payload: Optional[bytes]) -> Optional[bytes]:
+        if payload is None:
+            return None
+        keep = max(minimum, int(len(payload) * fraction))
+        return payload[: min(keep, max(len(payload) - 1, 0))]
+
+    return action
+
+
+def corrupt(offset: int = 0, xor: int = 0xFF) -> Action:
+    """A transform that flips bits at ``offset`` (a corrupted replica)."""
+    if not 0 < xor < 256:
+        raise ValueError("xor must be a non-zero byte value")
+
+    def action(payload: Optional[bytes]) -> Optional[bytes]:
+        if not payload:
+            return payload
+        index = min(offset, len(payload) - 1)
+        return payload[:index] + bytes([payload[index] ^ xor]) + payload[index + 1 :]
+
+    return action
+
+
+class _Armed:
+    """One armed site: the action plus its deterministic firing window."""
+
+    __slots__ = ("action", "after", "times", "fired")
+
+    def __init__(self, action: Action, after: int, times: Optional[int]) -> None:
+        self.action = action
+        self.after = after
+        self.times = times
+        self.fired = 0
+
+
+class Failpoints:
+    """A registry of armed fault sites (thread-safe, inert by default)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: Dict[Hashable, _Armed] = {}
+        self._hits: Dict[Hashable, int] = {}
+
+    # -- arming --------------------------------------------------------------
+    def arm(
+        self,
+        site: Hashable,
+        action: Action,
+        times: Optional[int] = None,
+        after: int = 0,
+    ) -> "Failpoints":
+        """Arm ``site``: skip ``after`` matches, then fire ``times`` times.
+
+        Re-arming a site replaces its previous action and resets its
+        firing window; returns ``self`` for chaining.
+        """
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        if times is not None and times < 1:
+            raise ValueError("times must be positive (or None for forever)")
+        with self._lock:
+            self._armed[site] = _Armed(action, after, times)
+        return self
+
+    def disarm(self, site: Hashable) -> None:
+        with self._lock:
+            self._armed.pop(site, None)
+
+    def reset(self) -> None:
+        """Disarm everything and clear the hit counters."""
+        with self._lock:
+            self._armed.clear()
+            self._hits.clear()
+
+    # -- observation ---------------------------------------------------------
+    def hits(self, site: Hashable) -> int:
+        """How many times an armed action actually fired at ``site``."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    # -- firing --------------------------------------------------------------
+    def _take(self, site: Hashable) -> Optional[Action]:
+        """Consume one firing-window slot; None when the site stays quiet."""
+        with self._lock:
+            armed = self._armed.get(site)
+            if armed is None:
+                return None
+            armed.fired += 1
+            if armed.fired <= armed.after:
+                return None
+            if armed.times is not None and armed.fired > armed.after + armed.times:
+                return None
+            self._hits[site] = self._hits.get(site, 0) + 1
+            return armed.action
+
+    def fire(self, site: Hashable) -> None:
+        """Run the armed side effect at a non-payload site (may raise)."""
+        action = self._take(site)
+        if action is not None:
+            action(None)
+
+    def transform(self, site: Hashable, payload: bytes) -> bytes:
+        """Run the armed payload transform; identity when unarmed."""
+        action = self._take(site)
+        if action is None:
+            return payload
+        transformed = action(payload)
+        return payload if transformed is None else transformed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return f"Failpoints(armed={sorted(map(str, self._armed))})"
+
+
+#: The shared default instance components fall back to.  Inert unless a
+#: test (or an operator script) arms it; tests that want isolation pass
+#: their own instance instead.
+FAILPOINTS = Failpoints()

@@ -1,0 +1,113 @@
+"""Rendezvous-hashed shard assignment over a static node table.
+
+The coordinator routes every request by its **machine fingerprint** (the
+registry key, a content hash of the machine description).  Rendezvous
+(highest-random-weight) hashing turns that key into an ordered preference
+list of serving nodes with exactly the properties a static cluster needs:
+
+* **deterministic across processes** — scores are ``blake2b`` digests of
+  ``node_id + fingerprint``, so every coordinator (and every test, and
+  every future restart) computes the identical assignment; nothing
+  depends on Python's randomized ``hash()``;
+* **balanced** — each fingerprint's primary is an independent
+  near-uniform draw over the nodes, so a corpus of fingerprints spreads
+  evenly without a central allocation table;
+* **minimally disturbed** — adding a node only claims the fingerprints
+  whose new top score it wins; removing a node only reassigns the
+  fingerprints it owned.  No other key moves, so a topology change
+  invalidates the smallest possible set of node-local caches.
+
+The *preference list* (all nodes, best first) is what failover walks: the
+first ``replicas`` entries are the fingerprint's home nodes, and a
+coordinator that finds them all unavailable may continue down the same
+list — every coordinator degrades in the same order.
+
+``tests/test_shard_property.py`` pins the three properties down with
+Hypothesis, including a fresh-subprocess determinism check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+
+def rendezvous_score(node_id: str, fingerprint: str) -> int:
+    """The weight of ``node_id`` for ``fingerprint`` (higher wins).
+
+    A 64-bit big-endian integer from a keyed ``blake2b`` digest.  The
+    NUL separator keeps the encoding prefix-free: distinct
+    ``(node_id, fingerprint)`` pairs can never collide by concatenation.
+    """
+    digest = hashlib.blake2b(
+        node_id.encode("utf-8") + b"\x00" + fingerprint.encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """Fingerprint → ordered node preference, by rendezvous hashing.
+
+    Parameters
+    ----------
+    node_ids:
+        The static node table (order-insensitive; duplicates refused —
+        a duplicated id would silently halve that node's failure
+        isolation).
+    replicas:
+        How many nodes hold each fingerprint's artifact and serve its
+        requests (clamped to the node count).  The first entry of
+        :meth:`assign` is the *primary*; the rest are failover replicas.
+    """
+
+    def __init__(self, node_ids: Sequence[str], replicas: int = 2) -> None:
+        nodes = list(node_ids)
+        if not nodes:
+            raise ValueError("a shard map needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node ids in {nodes!r}")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        # Sorted storage: the preference order is a pure function of the
+        # node *set*, whatever order the table was written in.
+        self.node_ids: Tuple[str, ...] = tuple(sorted(nodes))
+        self.replicas = min(replicas, len(nodes))
+
+    def preference(self, fingerprint: str) -> List[str]:
+        """Every node, best first — the order failover walks.
+
+        Ties (astronomically unlikely with 64-bit scores) break by node
+        id so the order stays total and deterministic.
+        """
+        return sorted(
+            self.node_ids,
+            key=lambda node_id: (rendezvous_score(node_id, fingerprint), node_id),
+            reverse=True,
+        )
+
+    def assign(self, fingerprint: str) -> List[str]:
+        """The fingerprint's home nodes: primary first, then replicas."""
+        return self.preference(fingerprint)[: self.replicas]
+
+    def primary(self, fingerprint: str) -> str:
+        """The single highest-scoring node for a fingerprint."""
+        return max(
+            self.node_ids,
+            key=lambda node_id: (rendezvous_score(node_id, fingerprint), node_id),
+        )
+
+    def placement(self, fingerprints: Sequence[str]) -> Dict[str, List[str]]:
+        """node id → fingerprints it is primary for (the shard layout).
+
+        What a sync driver uses to decide which artifacts each node's
+        replica *must* hold; with full replication every node holds
+        everything and this is advisory load information.
+        """
+        layout: Dict[str, List[str]] = {node_id: [] for node_id in self.node_ids}
+        for fingerprint in fingerprints:
+            layout[self.primary(fingerprint)].append(fingerprint)
+        return layout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardMap({list(self.node_ids)!r}, replicas={self.replicas})"

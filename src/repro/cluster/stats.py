@@ -1,0 +1,99 @@
+"""Coordinator-side metrics: routing, failover and fleet health counters.
+
+The coordinator keeps two kinds of state about its fleet:
+
+* its **own** routing ledger — :class:`ClusterStats`, the thread-safe
+  counters below (requests routed, per-node forwards and failures,
+  failovers, retries, upstream refusals, health polls, republish
+  broadcasts);
+* the **nodes'** serving ledgers — each node's ``stats`` op returns a
+  :class:`~repro.serving.stats.ServingStats` snapshot, and the
+  coordinator folds them into one fleet view with
+  :meth:`~repro.serving.stats.ServingStats.merge_snapshot` (additive
+  counters, max-merged watermarks — the
+  :meth:`~repro.solvers.stats.SolveStats.merge` convention).
+
+Keeping the two separate keeps the semantics honest: a *routed* request
+that failed over counts once here and once on **each** node that touched
+it, so ``requests_routed <= sum(node requests)`` by design, not by bug.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class ClusterStats:
+    """Thread-safe routing/failover counters for one coordinator."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Requests the coordinator accepted and attempted to route.
+        self.requests_routed = 0
+        #: Requests answered by a non-primary replica (>= 1 node failed).
+        self.failovers = 0
+        #: Same-node retry attempts (transport error within the budget).
+        self.retries = 0
+        #: Requests refused upstream: every replica exhausted.
+        self.refused_upstream = 0
+        #: Health poll sweeps completed.
+        self.health_polls = 0
+        #: Republish broadcasts fanned out to the fleet.
+        self.republish_broadcasts = 0
+        #: node_id -> requests forwarded to it (counting retries once).
+        self.forwards_by_node: Dict[str, int] = {}
+        #: node_id -> times it was declared unavailable for a request.
+        self.failures_by_node: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+    def record_routed(self) -> None:
+        with self._lock:
+            self.requests_routed += 1
+
+    def record_forward(self, node_id: str) -> None:
+        with self._lock:
+            self.forwards_by_node[node_id] = (
+                self.forwards_by_node.get(node_id, 0) + 1
+            )
+
+    def record_retry(self, node_id: str) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_node_failure(self, node_id: str) -> None:
+        with self._lock:
+            self.failures_by_node[node_id] = (
+                self.failures_by_node.get(node_id, 0) + 1
+            )
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def record_refused_upstream(self) -> None:
+        with self._lock:
+            self.refused_upstream += 1
+
+    def record_health_poll(self) -> None:
+        with self._lock:
+            self.health_polls += 1
+
+    def record_republish_broadcast(self) -> None:
+        with self._lock:
+            self.republish_broadcasts += 1
+
+    # -- reporting -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready copy of every counter (consistent under the lock)."""
+        with self._lock:
+            return {
+                "requests_routed": self.requests_routed,
+                "failovers": self.failovers,
+                "retries": self.retries,
+                "refused_upstream": self.refused_upstream,
+                "health_polls": self.health_polls,
+                "republish_broadcasts": self.republish_broadcasts,
+                "forwards_by_node": dict(self.forwards_by_node),
+                "failures_by_node": dict(self.failures_by_node),
+            }

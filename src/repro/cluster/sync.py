@@ -1,0 +1,200 @@
+"""Mtime/hash-validated replication of an artifact registry.
+
+Each serving node of the cluster holds a **local read-only replica** of
+the mapping artifacts it serves: a node never reads the source registry
+on the hot path (one shared directory would couple every node to one
+filesystem and one failure domain), and it never mutates what it serves
+(replicas are opened with ``readonly=True``, like any serving registry).
+
+:func:`replicate_registry` brings a replica up to date:
+
+* **cheap staleness check** — a destination file whose ``(mtime_ns,
+  size)`` stamp equals the source's is skipped without reading either
+  file; copies preserve the source stamp so the check stays valid across
+  repeated syncs and across processes;
+* **hash validation** — every copied payload is staged to a temp file
+  and its SHA-256 compared against the source bytes *before* the atomic
+  rename; a corrupted copy (torn read, injected fault) raises
+  :class:`~repro.cluster.errors.ReplicaSyncError` and the staged file is
+  discarded — a bad sync can never install a bad artifact;
+* **stale pruning** — artifacts deleted at the source are deleted from
+  the replica (``prune=True``), so a machine withdrawn from the fleet
+  stops being servable everywhere.
+
+:func:`verify_replica` is the audit half: a full content-hash comparison
+that reports stale or corrupted replica entries without touching them —
+what a coordinator health sweep runs to detect a replica that rotted
+after its sync (the ``stale_replica`` fault mode).
+
+Replication copies only the ``mapping-*.json`` serving artifacts; stage
+checkpoints (``stages/``) are characterization-side state and stay with
+the source registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.artifacts import ArtifactRegistry, MappingArtifact
+from repro.cluster.errors import ReplicaSyncError
+from repro.cluster.failpoints import FAILPOINTS, Failpoints
+
+_ARTIFACT_GLOB = "mapping-*.json"
+
+
+def _stamp(path: Path) -> Optional[Tuple[int, int]]:
+    """The (mtime_ns, size) staleness stamp of a file, None when absent."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class SyncReport:
+    """What one :func:`replicate_registry` run did, per artifact file."""
+
+    copied: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    pruned: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """Whether the replica's serving set differs from before the run."""
+        return bool(self.copied or self.pruned)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SyncReport(copied={len(self.copied)}, "
+            f"skipped={len(self.skipped)}, pruned={len(self.pruned)})"
+        )
+
+
+def replicate_registry(
+    source: Union[str, Path, ArtifactRegistry],
+    destination: Union[str, Path],
+    prune: bool = True,
+    failpoints: Optional[Failpoints] = None,
+) -> SyncReport:
+    """Bring a replica directory up to date with the source registry.
+
+    Returns a :class:`SyncReport` naming every artifact file copied,
+    skipped (stamp-identical) and pruned.  Raises
+    :class:`~repro.cluster.errors.ReplicaSyncError` when a copy fails
+    hash validation — the replica is left exactly as it was for that
+    artifact.
+    """
+    source_root = source.root if isinstance(source, ArtifactRegistry) else Path(source)
+    destination_root = Path(destination)
+    if source_root.resolve() == destination_root.resolve():
+        raise ReplicaSyncError(
+            f"replica destination {destination_root} is the source registry "
+            f"itself; a node must serve its own copy"
+        )
+    destination_root.mkdir(parents=True, exist_ok=True)
+    failpoints = failpoints or FAILPOINTS
+    report = SyncReport()
+
+    source_names = set()
+    for source_path in sorted(source_root.glob(_ARTIFACT_GLOB)):
+        source_names.add(source_path.name)
+        destination_path = destination_root / source_path.name
+        source_stamp = _stamp(source_path)
+        if source_stamp is not None and source_stamp == _stamp(destination_path):
+            report.skipped.append(source_path.name)
+            continue
+        payload = source_path.read_bytes()
+        staged = failpoints.transform(("sync.copy", source_path.name), payload)
+        _install_validated(
+            source_path, destination_path, expected=payload, staged=staged
+        )
+        report.copied.append(source_path.name)
+
+    if prune:
+        for replica_path in sorted(destination_root.glob(_ARTIFACT_GLOB)):
+            if replica_path.name not in source_names:
+                replica_path.unlink()
+                report.pruned.append(replica_path.name)
+    return report
+
+
+def _install_validated(
+    source_path: Path, destination_path: Path, expected: bytes, staged: bytes
+) -> None:
+    """Stage, hash-validate and atomically install one replica file.
+
+    Validation happens on the *staged* bytes (what would land), so any
+    corruption between read and write — including an injected
+    ``sync.copy`` fault — is refused before the rename and the previous
+    replica content survives untouched.
+    """
+    if _sha256(staged) != _sha256(expected):
+        raise ReplicaSyncError(
+            f"replica copy of {source_path.name} failed hash validation "
+            f"({len(staged)} byte(s) staged vs {len(expected)} expected); "
+            f"refusing to install a corrupted artifact"
+        )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(destination_path.parent), prefix=destination_path.name, suffix=".sync"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(staged)
+        # Preserve the source stamp so the next sync's mtime/size check
+        # recognizes the replica as current without reading it.
+        stat = source_path.stat()
+        os.utime(tmp_name, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        os.replace(tmp_name, destination_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def verify_replica(
+    source: Union[str, Path, ArtifactRegistry],
+    destination: Union[str, Path],
+) -> List[str]:
+    """Artifact files whose replica content differs from the source.
+
+    A full content-hash audit (no stamps): returns the names of replica
+    entries that are missing, stale, or corrupted — empty means the
+    replica serves exactly the source's artifacts.  Never modifies
+    either side; run :func:`replicate_registry` to repair.
+    """
+    source_root = source.root if isinstance(source, ArtifactRegistry) else Path(source)
+    destination_root = Path(destination)
+    divergent: List[str] = []
+    source_files = {path.name: path for path in source_root.glob(_ARTIFACT_GLOB)}
+    replica_files = {path.name: path for path in destination_root.glob(_ARTIFACT_GLOB)}
+    for name, source_path in sorted(source_files.items()):
+        replica_path = replica_files.get(name)
+        if replica_path is None or _sha256(replica_path.read_bytes()) != _sha256(
+            source_path.read_bytes()
+        ):
+            divergent.append(name)
+    for name in sorted(set(replica_files) - set(source_files)):
+        divergent.append(name)
+    return divergent
+
+
+def load_replica(destination: Union[str, Path]) -> ArtifactRegistry:
+    """Open a replica the only way a serving node may: read-only."""
+    return ArtifactRegistry(destination, readonly=True)
+
+
+def replica_artifacts(destination: Union[str, Path]) -> List[MappingArtifact]:
+    """Every loadable artifact in a replica (a convenience for health checks)."""
+    return load_replica(destination).entries()

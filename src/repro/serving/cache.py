@@ -51,10 +51,16 @@ class CompiledMapping:
         "mapping",
         "matrix",
         "instruction_by_name",
+        "version",
+        "source_stamp",
         "_dense",
     )
 
-    def __init__(self, artifact: MappingArtifact) -> None:
+    def __init__(
+        self,
+        artifact: MappingArtifact,
+        source_stamp: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self.fingerprint = artifact.machine_fingerprint
         self.machine_name = artifact.machine_name
         self.mapping = artifact.mapping
@@ -63,6 +69,16 @@ class CompiledMapping:
             instruction.name: instruction
             for instruction in artifact.mapping.instructions
         }
+        #: The artifact's publication stamp (its ``created_at``).  A
+        #: republish of the same machine writes a younger artifact under
+        #: the same fingerprint key, so within one fingerprint the
+        #: version is monotone across swaps — what the zero-downtime
+        #: republish test asserts per connection.
+        self.version: float = artifact.created_at
+        #: ``(mtime_ns, size)`` of the registry file this was compiled
+        #: from, or ``None`` when unknown.  The cheap change detector
+        #: :meth:`HotMappingCache.refresh` compares against.
+        self.source_stamp = source_stamp
         self._dense: Optional[Tuple[List[str], np.ndarray]] = None
 
     def dense_instruction_table(self) -> Tuple[List[str], np.ndarray]:
@@ -125,6 +141,20 @@ class HotMappingCache:
         self._lock = threading.Lock()
         self._compiled: "OrderedDict[str, CompiledMapping]" = OrderedDict()
 
+    def _source_stamp(self, fingerprint: str) -> Optional[Tuple[int, int]]:
+        """``(mtime_ns, size)`` of the artifact's registry file, if present.
+
+        Read *before* loading the file: if a republish replaces the file
+        between the stat and the read, the stored stamp disagrees with
+        the new file and the next :meth:`refresh` reloads — a stale stamp
+        can delay a swap by one check, never suppress it.
+        """
+        try:
+            stat = self.registry.path_for(fingerprint).stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
     def get(self, fingerprint: str) -> CompiledMapping:
         """The compiled mapping for a machine fingerprint (load on miss).
 
@@ -140,7 +170,8 @@ class HotMappingCache:
             # Load + compile under the lock: artifacts are small JSON files
             # and misses are rare (once per machine per eviction cycle), so
             # simplicity beats a double-checked scheme here.
-            compiled = CompiledMapping(self.registry.load(fingerprint))
+            stamp = self._source_stamp(fingerprint)
+            compiled = CompiledMapping(self.registry.load(fingerprint), stamp)
             self._compiled[fingerprint] = compiled
             evicted = 0
             while len(self._compiled) > self.capacity:
@@ -148,6 +179,38 @@ class HotMappingCache:
                 evicted += 1
             self.stats.record_mapping_cache(hit=False, evicted=evicted)
             return compiled
+
+    def refresh(self, fingerprint: str) -> Optional[CompiledMapping]:
+        """Reload a resident mapping whose backing file changed (hot swap).
+
+        Returns the freshly compiled mapping when the registry file's
+        ``(mtime_ns, size)`` stamp differs from the resident copy's —
+        after atomically replacing the cache entry, so every *subsequent*
+        lookup (each lane resolves the compiled mapping per flush) serves
+        the new version while flushes already holding the old object
+        finish undisturbed.  Returns ``None`` when nothing is resident
+        (the next :meth:`get` loads fresh anyway) or the file is
+        unchanged.
+
+        Raises the registry's typed error when the changed file fails
+        validation — the resident (old) mapping stays installed, so a
+        botched republish degrades to "keep serving the previous
+        version", never to an outage.
+        """
+        with self._lock:
+            resident = self._compiled.get(fingerprint)
+        if resident is None:
+            return None
+        stamp = self._source_stamp(fingerprint)
+        if stamp is not None and stamp == resident.source_stamp:
+            return None
+        # Load and compile outside the lock: a republish must not stall
+        # concurrent flush-time lookups while the new matrix compiles.
+        compiled = CompiledMapping(self.registry.load(fingerprint), stamp)
+        with self._lock:
+            self._compiled[fingerprint] = compiled
+            self._compiled.move_to_end(fingerprint)
+        return compiled
 
     def resident_fingerprints(self) -> tuple:
         """Currently cached fingerprints, least- to most-recently used."""

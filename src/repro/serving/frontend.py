@@ -22,8 +22,11 @@ response echoes the ``id``::
     {"id": 1, "ok": true, "machine": "toy", "fingerprint": "...",
      "predictions": [{"ipc": 2.0, "supported_fraction": 1.0}]}
 
-Management ops: ``{"op": "ping"}``, ``{"op": "stats"}`` and
-``{"op": "shutdown"}`` (answers, then stops the server loop).
+Management ops: ``{"op": "ping"}``, ``{"op": "stats"}``, ``{"op":
+"health"}`` (the node's load report, what a cluster coordinator's
+admission reads), ``{"op": "republish"}`` (hot-swap every resident
+mapping whose artifact file changed; zero downtime) and ``{"op":
+"shutdown"}`` (answers, then stops the server loop).
 
 Failures are **typed, never silent**: every refusal — overload, unknown
 machine, malformed request — produces ``{"ok": false, "error": {"type":
@@ -178,11 +181,22 @@ def handle_request(
         )
     if op == "shutdown":
         return {"id": request.get("id"), "ok": True, "stopping": True}, True
+    if op == "health":
+        return (
+            {"id": request.get("id"), "ok": True, "health": service.health()},
+            False,
+        )
+    if op == "republish":
+        return (
+            {"id": request.get("id"), "ok": True, **service.republish()},
+            False,
+        )
     if op == "hello":
         return _handle_hello(service, request, transport_binary), False
     if op != "predict":
         raise InvalidRequestError(
-            f"unknown op {op!r} (known: predict, hello, ping, stats, shutdown)"
+            f"unknown op {op!r} (known: predict, hello, ping, stats, "
+            f"health, republish, shutdown)"
         )
 
     fingerprint = request.get("fingerprint")
@@ -204,6 +218,11 @@ def handle_request(
             "ok": True,
             "machine": compiled.machine_name,
             "fingerprint": compiled.fingerprint,
+            # The artifact publication stamp the request was *routed*
+            # against.  The hot-cache swap is atomic and monotone, so per
+            # connection the label never goes backwards across a
+            # zero-downtime republish (the cutover test's invariant).
+            "version": compiled.version,
             "predictions": [_prediction_dict(p) for p in predictions],
         },
         False,
@@ -485,6 +504,7 @@ class LineProtocolServer(socketserver.ThreadingTCPServer):
         self.service = service
         self._connection_lock = threading.Lock()
         self._active_connections = 0
+        self._open_sockets: set = set()
 
     def process_request_thread(self, request, client_address) -> None:
         # Counted in the handler thread itself so the count reflects
@@ -492,11 +512,31 @@ class LineProtocolServer(socketserver.ThreadingTCPServer):
         # watches this drop back down after an abrupt client exit.
         with self._connection_lock:
             self._active_connections += 1
+            self._open_sockets.add(request)
         try:
             super().process_request_thread(request, client_address)
         finally:
             with self._connection_lock:
                 self._active_connections -= 1
+                self._open_sockets.discard(request)
+
+    def close_client_connections(self) -> None:
+        """Sever every established client connection (fault drills).
+
+        ``shutdown()`` only stops the accept loop — connections already in
+        a handler thread keep draining, which is the zero-downtime default.
+        Crash-style fault tests (:meth:`repro.cluster.ClusterNode.kill`)
+        call this to cut the established sockets too: readers unblock with
+        EOF, the handler threads exit, and in-flight peers see a transport
+        failure instead of a drained goodbye.
+        """
+        with self._connection_lock:
+            sockets = list(self._open_sockets)
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closing — the handler owns the close()
 
     @property
     def active_connections(self) -> int:
@@ -541,6 +581,12 @@ class ServingClient:
 
     def stats(self) -> Dict[str, object]:
         return self.request({"op": "stats"})
+
+    def health(self) -> Dict[str, object]:
+        return self.request({"op": "health"})
+
+    def republish(self) -> Dict[str, object]:
+        return self.request({"op": "republish"})
 
     def shutdown(self) -> Dict[str, object]:
         return self.request({"op": "shutdown"})

@@ -110,6 +110,13 @@ class MachineRouter:
         self._process_spawn_lock = threading.Lock()
         self._lanes: Dict[str, MicroBatcher] = {}
         self._process_lanes: Dict[str, ProcessWorkerLane] = {}
+        # Fingerprints whose worker could not come up: evaluation stays
+        # degraded to the thread path without re-warning every flush.
+        self._process_degraded: set = set()
+        # Per-fingerprint swap locks: a republish must not stop a worker
+        # process while a flush is mid-call on it (zero-downtime contract);
+        # the flush holds its fingerprint's lock across resolve + call.
+        self._swap_locks: Dict[str, threading.Lock] = {}
         self._name_index: Dict[str, List[str]] = {}
         self._name_index_stamp: Optional[float] = None
         self._started = False
@@ -188,6 +195,40 @@ class MachineRouter:
         """The compiled mapping of a machine (through the hot cache)."""
         return self.cache.get(fingerprint)
 
+    # -- zero-downtime republish ---------------------------------------------
+    def republish(self, fingerprint: str) -> Optional[CompiledMapping]:
+        """Hot-swap a machine's mapping if its artifact file changed.
+
+        The zero-downtime cutover: the hot cache entry is replaced
+        atomically (flushes already holding the old compiled mapping
+        drain on it; every later flush resolves the new one), and in
+        process-lane mode the fingerprint's worker is recycled *between*
+        flushes — the swap lock guarantees no flush is mid-call when the
+        old worker stops, and the next flush spawns a fresh worker from
+        the republished artifact.  In-flight requests are never failed.
+
+        Returns the new compiled mapping when a swap happened, ``None``
+        when the artifact is unchanged or not resident.  Raises the
+        registry's typed error when the changed file fails validation —
+        the old version keeps serving.
+        """
+        compiled = self.cache.refresh(fingerprint)
+        if compiled is None:
+            return None
+        lane = self._lanes.get(fingerprint)
+        pending = lane.pending if lane is not None else 0
+        with self._swap_lock(fingerprint):
+            with self._lock:
+                retired = self._process_lanes.pop(fingerprint, None)
+                # A recycled fingerprint gets a fresh chance to spawn: the
+                # republished artifact may be servable by a worker even if
+                # an earlier spawn failed.
+                self._process_degraded.discard(fingerprint)
+            if retired is not None:
+                retired.stop()
+        self.stats.record_republish(pending)
+        return compiled
+
     def _processor(self, fingerprint: str):
         """The lane's process function: lowered payloads -> predictions.
 
@@ -224,25 +265,54 @@ class MachineRouter:
     def _arrays_predictor(self, fingerprint: str):
         """The mode-specific batch evaluator: LoweredBatch -> (ipcs, fractions)."""
         if self.lane_mode == "process":
-            process_lane = self._ensure_process_lane(fingerprint)
-            if process_lane is not None:
+            swap_lock = self._swap_lock(fingerprint)
 
-                def predict_in_worker(batch: LoweredBatch):
-                    return process_lane.call(
-                        batch.instruction_ids,
-                        batch.counts,
-                        batch.lengths,
-                        batch.sizes,
-                    )
+            def predict_in_worker(batch: LoweredBatch):
+                # The worker is resolved per flush (not captured at lane
+                # creation): a republish recycles the worker process, and
+                # the next flush transparently spawns a fresh one compiled
+                # from the new artifact.  The swap lock keeps a concurrent
+                # republish from stopping the worker mid-call.
+                with swap_lock:
+                    process_lane = self._current_process_lane(fingerprint)
+                    if process_lane is not None:
+                        return process_lane.call(
+                            batch.instruction_ids,
+                            batch.counts,
+                            batch.lengths,
+                            batch.sizes,
+                        )
+                # Degraded (warned once): thread evaluation, same results.
+                return self.cache.get(fingerprint).matrix.predict_lowered_arrays(
+                    batch
+                )
 
-                return predict_in_worker
-            # Creation failed: degraded to thread evaluation (warned).
+            return predict_in_worker
 
         def predict_in_thread(batch: LoweredBatch):
             # Per-flush cache lookup: an evicted mapping re-loads here.
             return self.cache.get(fingerprint).matrix.predict_lowered_arrays(batch)
 
         return predict_in_thread
+
+    def _swap_lock(self, fingerprint: str) -> threading.Lock:
+        with self._lock:
+            lock = self._swap_locks.get(fingerprint)
+            if lock is None:
+                lock = self._swap_locks[fingerprint] = threading.Lock()
+            return lock
+
+    def _current_process_lane(
+        self, fingerprint: str
+    ) -> Optional[ProcessWorkerLane]:
+        """The fingerprint's live worker, spawning one unless degraded."""
+        with self._lock:
+            lane = self._process_lanes.get(fingerprint)
+            if lane is not None:
+                return lane
+            if fingerprint in self._process_degraded:
+                return None
+        return self._ensure_process_lane(fingerprint)
 
     def _ensure_process_lane(
         self, fingerprint: str
@@ -273,6 +343,8 @@ class MachineRouter:
                     f"({error!r}); falling back to thread-lane evaluation",
                     stacklevel=3,
                 )
+                with self._lock:
+                    self._process_degraded.add(fingerprint)
                 return None
         with self._lock:
             if self._closed:

@@ -203,6 +203,59 @@ class PredictionService:
         """
         return ServicePredictor(self, fingerprint, name=name)
 
+    # -- cluster integration -------------------------------------------------
+    def republish(self) -> dict:
+        """Hot-swap every resident mapping whose artifact file changed.
+
+        The zero-downtime republish entry point (driven by the
+        ``republish`` protocol op and a cluster node's registry watcher):
+        each resident fingerprint is checked against its registry file's
+        mtime/size stamp and swapped atomically when a new version was
+        published — in-flight requests drain on the old compiled mapping,
+        later flushes serve the new one, and nothing is ever failed.
+
+        Returns ``{"swapped": {fingerprint: version}, "failed":
+        {fingerprint: error message}}``.  A fingerprint whose new file
+        fails validation lands in ``failed`` and *keeps serving its old
+        version* — a botched publish degrades loudly, never into an
+        outage.
+        """
+        swapped = {}
+        failed = {}
+        for fingerprint in self.router.cache.resident_fingerprints():
+            try:
+                compiled = self.router.republish(fingerprint)
+            except Exception as error:  # noqa: BLE001 - typed per fingerprint
+                failed[fingerprint] = f"{type(error).__name__}: {error}"
+                continue
+            if compiled is not None:
+                swapped[fingerprint] = compiled.version
+        return {"swapped": swapped, "failed": failed}
+
+    def health(self) -> dict:
+        """The node's load report: what a coordinator's admission reads.
+
+        ``pending`` is the total number of kernels outstanding across all
+        lanes right now; ``max_pending`` the per-lane admission bound
+        (``None`` = unbounded).  A coordinator prefers replicas whose
+        pending headroom is largest and skips nodes reporting saturation.
+        """
+        lanes = self.router.known_fingerprints()
+        pending = 0
+        for fingerprint in lanes:
+            try:
+                pending += self.router.lane_for(fingerprint).pending
+            except Exception:  # noqa: BLE001 - a closing lane reports 0
+                pass
+        return {
+            "status": "ok",
+            "pending": pending,
+            "max_pending": self.router.max_pending,
+            "lanes": len(lanes),
+            "lane_mode": self.router.lane_mode,
+            "artifacts": len(self.registry.entries()),
+        }
+
     def snapshot(self) -> dict:
         """JSON-ready view of the serving statistics."""
         snap = self.stats.snapshot()

@@ -1,0 +1,431 @@
+"""Fault-injection suite for the distributed serving tier.
+
+The cluster's acceptance contract (:mod:`repro.cluster`):
+
+* a node dying mid-stream, a slow node, a partial write, a corrupted
+  replica — each degrades through the typed ladder (retry ->
+  :class:`NodeUnavailableError` -> failover ->
+  :class:`ClusterOverloadedError`), **never** into a silent drop or a
+  wrong answer;
+* every failover answer is **bitwise-identical** to an offline
+  prediction against the same artifacts;
+* after any fault storm, every surviving node's admission ledger still
+  balances (``requests_admitted == requests_completed +
+  requests_failed``) — capacity is released, nothing leaks;
+* corrupted replication is refused *before* installation: a bad sync
+  can never land a bad artifact.
+
+Every fault is injected deterministically through
+:mod:`repro.cluster.failpoints` — no timing races, no network chaos —
+and each test asserts the failpoint actually fired.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.artifacts import ArtifactRegistry
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterNode,
+    ClusterOverloadedError,
+    Failpoints,
+    NodeSpec,
+    ReplicaSyncError,
+    RetryPolicy,
+    corrupt,
+    delay,
+    fail,
+    replicate_registry,
+    truncate,
+    verify_replica,
+)
+from repro.serving import PredictionService, ServiceOverloadedError
+from repro.serving.stats import ServingStats
+
+from test_serving import make_artifact, random_kernels
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def blocks_for(kernels):
+    """Microkernels -> wire blocks ({mnemonic: multiplicity} dicts)."""
+    return [
+        [{ins.name: float(count) for ins, count in kernel.counts.items()}]
+        for kernel in kernels
+    ]
+
+
+def assert_envelope_matches(response, reference, context=""):
+    """A routed envelope must equal the offline prediction bitwise."""
+    assert response.get("ok"), (context, response)
+    (got,) = response["predictions"]
+    assert (got["ipc"] is None) == (reference.ipc is None), context
+    if reference.ipc is not None:
+        assert bits(got["ipc"]) == bits(reference.ipc), context
+    assert bits(got["supported_fraction"]) == bits(
+        reference.supported_fraction
+    ), context
+
+
+@pytest.fixture()
+def cluster(tmp_path, toy_machine):
+    """A 3-node in-process cluster over a toy-machine registry.
+
+    Yields ``(nodes, specs, fingerprint, reference)`` where ``reference``
+    maps request index -> the offline prediction for ``KERNELS[index]``.
+    """
+    source = tmp_path / "source"
+    registry = ArtifactRegistry(source)
+    artifact = make_artifact(toy_machine)
+    registry.save(artifact)
+
+    nodes = []
+    specs = []
+    for index in range(3):
+        node = ClusterNode(
+            f"n{index}", source, tmp_path / f"replica{index}"
+        ).start()
+        nodes.append(node)
+        host, port = node.address
+        specs.append(NodeSpec(f"n{index}", host, port))
+
+    kernels = random_kernels(
+        list(toy_machine.benchmarkable_instructions()), 40, seed=7
+    )
+    with PredictionService(ArtifactRegistry(source, readonly=True)) as offline:
+        fingerprint = offline.resolve(toy_machine.name)
+        reference = offline.predict_many(fingerprint, kernels)
+
+    try:
+        yield nodes, specs, fingerprint, kernels, reference
+    finally:
+        for node in nodes:
+            node.stop()
+
+
+def fast_retry(attempts=2):
+    return RetryPolicy(
+        attempts=attempts, timeout_s=5.0, backoff_s=0.0, cooldown_s=0.5
+    )
+
+
+class TestFailover:
+    def test_node_death_mid_stream_is_bitwise_invisible(self, cluster):
+        """Kill the primary mid-stream: every answer still lands, bitwise."""
+        nodes, specs, fingerprint, kernels, reference = cluster
+        coordinator = ClusterCoordinator(specs, replicas=2, retry=fast_retry())
+        primary = coordinator.shard_map.primary(fingerprint)
+        with coordinator:
+            for index, block in enumerate(blocks_for(kernels)):
+                if index == 10:  # mid-stream, not between tests: the
+                    for node in nodes:  # pooled connection dies under us
+                        if node.node_id == primary:
+                            node.stop()
+                response = coordinator.predict_blocks(
+                    block, fingerprint=fingerprint, request_id=index
+                )
+                assert_envelope_matches(
+                    response, reference[index], context=f"request {index}"
+                )
+            snap = coordinator.stats.snapshot()
+        assert snap["requests_routed"] == len(kernels)
+        assert snap["refused_upstream"] == 0
+        # The dead node burned its budget at least once and the stream
+        # failed over (unless it was never this fingerprint's primary
+        # candidate — it was, by construction).
+        assert snap["failures_by_node"].get(primary, 0) >= 1
+        assert snap["failovers"] >= 1
+
+    def test_slow_node_answers_late_not_wrong(self, cluster):
+        """A delayed node is slow, not dead: no failover, same bits."""
+        nodes, specs, fingerprint, kernels, reference = cluster
+        failpoints = Failpoints()
+        coordinator = ClusterCoordinator(
+            specs, replicas=2, retry=fast_retry(), failpoints=failpoints
+        )
+        primary = coordinator.shard_map.primary(fingerprint)
+        failpoints.arm(("node.request", primary), delay(0.05), times=3)
+        with coordinator:
+            for index in range(6):
+                response = coordinator.predict_blocks(
+                    blocks_for(kernels)[index], fingerprint=fingerprint
+                )
+                assert_envelope_matches(response, reference[index])
+            snap = coordinator.stats.snapshot()
+        assert failpoints.hits(("node.request", primary)) == 3
+        assert snap["failovers"] == 0
+        assert snap["failures_by_node"] == {}
+
+    def test_injected_connect_failure_is_retried_within_budget(self, cluster):
+        nodes, specs, fingerprint, kernels, reference = cluster
+        failpoints = Failpoints()
+        coordinator = ClusterCoordinator(
+            specs, replicas=2, retry=fast_retry(attempts=2),
+            failpoints=failpoints,
+        )
+        primary = coordinator.shard_map.primary(fingerprint)
+        failpoints.arm(
+            ("node.connect", primary),
+            fail(lambda: ConnectionRefusedError("injected connect failure")),
+            times=1,
+        )
+        with coordinator:
+            response = coordinator.predict_blocks(
+                blocks_for(kernels)[0], fingerprint=fingerprint
+            )
+            assert_envelope_matches(response, reference[0])
+            snap = coordinator.stats.snapshot()
+        assert failpoints.hits(("node.connect", primary)) == 1
+        # Recovered on the same node's second attempt: a retry, not a
+        # failover.
+        assert snap["retries"] == 1
+        assert snap["failovers"] == 0
+
+    def test_partial_write_poisons_the_link_and_fails_over(self, cluster):
+        nodes, specs, fingerprint, kernels, reference = cluster
+        failpoints = Failpoints()
+        coordinator = ClusterCoordinator(
+            specs,
+            replicas=2,
+            retry=fast_retry(attempts=1),  # no same-node retry: observe
+            failpoints=failpoints,  # the failover path itself
+        )
+        primary = coordinator.shard_map.primary(fingerprint)
+        failpoints.arm(("node.send", primary), truncate(0.5), times=1)
+        with coordinator:
+            response = coordinator.predict_blocks(
+                blocks_for(kernels)[0], fingerprint=fingerprint
+            )
+            assert_envelope_matches(response, reference[0])
+            snap = coordinator.stats.snapshot()
+        assert failpoints.hits(("node.send", primary)) == 1
+        assert snap["failovers"] == 1
+        assert snap["failures_by_node"].get(primary) == 1
+
+    def test_corrupt_replica_on_disk_fails_over_bitwise(self, cluster):
+        """A node serving a rotted replica refuses; a replica answers."""
+        nodes, specs, fingerprint, kernels, reference = cluster
+        coordinator = ClusterCoordinator(specs, replicas=2, retry=fast_retry())
+        primary = coordinator.shard_map.primary(fingerprint)
+        for node in nodes:
+            if node.node_id == primary:
+                # Rot the replica *before* the node's first load: the
+                # registry's own validation refuses it at request time.
+                artifact_path = next(node.replica_dir.glob("mapping-*.json"))
+                payload = bytearray(artifact_path.read_bytes())
+                payload[len(payload) // 2] ^= 0xFF
+                artifact_path.write_bytes(bytes(payload))
+        with coordinator:
+            for index in range(4):
+                response = coordinator.predict_blocks(
+                    blocks_for(kernels)[index], fingerprint=fingerprint
+                )
+                assert_envelope_matches(response, reference[index])
+            snap = coordinator.stats.snapshot()
+        assert snap["failures_by_node"].get(primary, 0) >= 1
+        assert snap["failovers"] >= 1
+        assert snap["refused_upstream"] == 0
+
+    def test_all_nodes_down_refuses_with_typed_overload(self, cluster):
+        nodes, specs, fingerprint, kernels, reference = cluster
+        for node in nodes:
+            node.stop()
+        coordinator = ClusterCoordinator(
+            specs, replicas=3, retry=fast_retry(attempts=1)
+        )
+        with coordinator:
+            with pytest.raises(ClusterOverloadedError) as excinfo:
+                coordinator.predict_blocks(
+                    blocks_for(kernels)[0], fingerprint=fingerprint
+                )
+            snap = coordinator.stats.snapshot()
+        # The aggregate refusal is a ServiceOverloadedError: upstream
+        # clients keep their single-node backoff handling.
+        assert isinstance(excinfo.value, ServiceOverloadedError)
+        assert sorted(excinfo.value.attempted) == ["n0", "n1", "n2"]
+        assert snap["refused_upstream"] == 1
+
+    def test_admission_ledger_balances_after_a_fault_storm(self, cluster):
+        """No capacity leaks: every node's ledger balances post-failover."""
+        nodes, specs, fingerprint, kernels, reference = cluster
+        coordinator = ClusterCoordinator(specs, replicas=2, retry=fast_retry())
+        primary = coordinator.shard_map.primary(fingerprint)
+        with coordinator:
+            for index, block in enumerate(blocks_for(kernels)):
+                if index == 15:
+                    for node in nodes:
+                        if node.node_id == primary:
+                            node.stop()
+                response = coordinator.predict_blocks(
+                    block, fingerprint=fingerprint
+                )
+                assert_envelope_matches(response, reference[index])
+            # Per-node leak check (the PR-6 invariant, now fleet-wide)...
+            survivors = [n for n in nodes if n.node_id != primary]
+            merged = ServingStats()
+            for node in survivors:
+                snap = node.service.snapshot()
+                assert (
+                    snap["requests_admitted"]
+                    == snap["requests_completed"] + snap["requests_failed"]
+                ), (node.node_id, snap)
+                merged.merge_snapshot(snap)
+            # ...and it survives the coordinator's merge unchanged.
+            fleet = merged.snapshot()
+            assert (
+                fleet["requests_admitted"]
+                == fleet["requests_completed"] + fleet["requests_failed"]
+            )
+            assert fleet["requests_failed"] == 0
+            # The dead primary served the first 15 requests; everything
+            # after the kill landed on (exactly one) survivor each.
+            assert fleet["requests_admitted"] == len(kernels) - 15
+
+
+class TestReplicaSync:
+    def test_corrupted_sync_is_refused_before_install(self, tmp_path, toy_machine):
+        source = tmp_path / "source"
+        replica = tmp_path / "replica"
+        registry = ArtifactRegistry(source)
+        registry.save(make_artifact(toy_machine))
+        name = next(source.glob("mapping-*.json")).name
+
+        failpoints = Failpoints()
+        failpoints.arm(("sync.copy", name), corrupt(offset=40), times=1)
+        with pytest.raises(ReplicaSyncError):
+            replicate_registry(source, replica, failpoints=failpoints)
+        assert failpoints.hits(("sync.copy", name)) == 1
+        # Nothing landed: no artifact, no stray temp file.
+        assert list(replica.glob("mapping-*.json")) == []
+        assert list(replica.glob("*.sync")) == []
+        # The next (clean) sync repairs the replica completely.
+        report = replicate_registry(source, replica, failpoints=failpoints)
+        assert report.copied == [name]
+        assert verify_replica(source, replica) == []
+
+    def test_corrupted_resync_keeps_the_previous_replica_serving(
+        self, tmp_path, toy_machine
+    ):
+        """A botched republish degrades to the old version, not an outage."""
+        source = tmp_path / "source"
+        replica = tmp_path / "replica"
+        registry = ArtifactRegistry(source)
+        registry.save(make_artifact(toy_machine))
+        replicate_registry(source, replica)
+        name = next(source.glob("mapping-*.json")).name
+        before = (replica / name).read_bytes()
+
+        # Publish v2 (same machine, different mapping content).
+        registry.save(make_artifact(toy_machine, include_front_end=False))
+        failpoints = Failpoints()
+        failpoints.arm(("sync.copy", name), corrupt(offset=64), times=1)
+        with pytest.raises(ReplicaSyncError):
+            replicate_registry(source, replica, failpoints=failpoints)
+        # The v1 replica is byte-for-byte untouched and still loadable.
+        assert (replica / name).read_bytes() == before
+        loaded = ArtifactRegistry(replica, readonly=True).entries()
+        assert len(loaded) == 1
+        # The audit half reports the divergence the sync refused to hide.
+        assert verify_replica(source, replica) == [name]
+
+    def test_stamp_skip_and_prune(self, tmp_path, toy_machine):
+        source = tmp_path / "source"
+        replica = tmp_path / "replica"
+        registry = ArtifactRegistry(source)
+        registry.save(make_artifact(toy_machine))
+        first = replicate_registry(source, replica)
+        assert len(first.copied) == 1 and not first.skipped
+        second = replicate_registry(source, replica)
+        assert second.skipped == first.copied and not second.copied
+        assert not second.changed
+        # Withdraw the artifact at the source: the replica follows.
+        next(source.glob("mapping-*.json")).unlink()
+        third = replicate_registry(source, replica)
+        assert third.pruned == first.copied
+        assert list(replica.glob("mapping-*.json")) == []
+
+
+class TestServingStatsMerge:
+    """Satellite: cross-node stats aggregation (the SolveStats convention)."""
+
+    @staticmethod
+    def _node_stats(latency_max, pending_peak, fingerprint="fp-a"):
+        stats = ServingStats()
+        stats.record_admitted(fingerprint, count=3, pending=pending_peak)
+        stats.record_batch(
+            occupancy=3, latency_total=0.3, latency_max=latency_max
+        )
+        stats.record_refused(1)
+        stats.record_flush_phases(build=0.01, predict=0.02, resolve=0.005)
+        stats.record_mapping_cache(hit=True)
+        stats.record_mapping_cache(hit=False, evicted=1)
+        stats.record_lowering_cache_many(hits=2, misses=1)
+        stats.record_republish(pending=pending_peak)
+        return stats
+
+    def test_counters_add_and_watermarks_max(self):
+        left = self._node_stats(latency_max=0.5, pending_peak=7)
+        right = self._node_stats(latency_max=0.2, pending_peak=11, fingerprint="fp-b")
+        merged = self._node_stats(latency_max=0.5, pending_peak=7).merge(right)
+        snap = merged.snapshot()
+        one = left.snapshot()
+        # Additive counters: exactly the sum of the two nodes.
+        for key in (
+            "requests_submitted",
+            "requests_admitted",
+            "requests_refused",
+            "requests_completed",
+            "requests_failed",
+            "batches_flushed",
+            "batch_occupancy_total",
+            "mapping_cache_hits",
+            "mapping_cache_misses",
+            "mapping_cache_evictions",
+            "lowering_cache_hits",
+            "lowering_cache_misses",
+            "mapping_republishes",
+        ):
+            assert snap[key] == 2 * one[key], key
+        assert snap["latency_total_s"] == pytest.approx(2 * one["latency_total_s"])
+        assert snap["flush_build_ms_total"] == pytest.approx(
+            2 * one["flush_build_ms_total"]
+        )
+        # Watermarks: the max across nodes, never the sum.
+        assert snap["pending_peak"] == 11
+        assert snap["republish_pending_peak"] == 11
+        assert snap["latency_max_ms"] == pytest.approx(500.0)
+        # Per-fingerprint routing counts merge per key.
+        assert snap["requests_by_fingerprint"] == {"fp-a": 3, "fp-b": 3}
+        # Derived rates are recomputed, not merged: the aggregate is what
+        # one node seeing all the traffic would have reported.
+        assert snap["batch_occupancy_mean"] == pytest.approx(3.0)
+        assert snap["mapping_cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_merge_snapshot_equals_in_memory_merge(self):
+        """The wire path (JSON snapshot) and merge() agree exactly."""
+        left = self._node_stats(latency_max=0.4, pending_peak=5)
+        right = self._node_stats(latency_max=0.9, pending_peak=2, fingerprint="fp-c")
+        via_objects = self._node_stats(latency_max=0.4, pending_peak=5).merge(
+            right
+        )
+        via_wire = self._node_stats(latency_max=0.4, pending_peak=5)
+        via_wire.merge_snapshot(right.snapshot())
+        object_snapshot = via_objects.snapshot()
+        wire_snapshot = via_wire.snapshot()
+        assert set(object_snapshot) == set(wire_snapshot)
+        for key, value in object_snapshot.items():
+            if isinstance(value, float):
+                assert wire_snapshot[key] == pytest.approx(value), key
+            else:
+                assert wire_snapshot[key] == value, key
+
+    def test_merge_identity(self):
+        stats = self._node_stats(latency_max=0.1, pending_peak=4)
+        before = stats.snapshot()
+        stats.merge(ServingStats())
+        assert stats.snapshot() == before

@@ -58,8 +58,19 @@ def assert_same_prediction(left, right, context=""):
     assert bits(left.supported_fraction) == bits(right.supported_fraction), context
 
 
-def make_artifact(machine) -> MappingArtifact:
-    """A serving artifact from the machine's ground-truth conjunctive dual."""
+def make_artifact(
+    machine,
+    include_front_end: bool = True,
+    throughput_scale: float = 1.0,
+) -> MappingArtifact:
+    """A serving artifact from the machine's ground-truth conjunctive dual.
+
+    ``include_front_end=False`` or ``throughput_scale != 1`` yield a
+    *different mapping for the same fingerprint* — what a republished
+    (v2) artifact looks like on disk, which the cluster republish tests
+    exploit; a scaled mapping changes every supported prediction, so a
+    hot swap is observable on any block.
+    """
     stats = PalmedStats(
         machine_name=machine.name,
         num_instructions_total=len(machine.instructions),
@@ -75,10 +86,21 @@ def make_artifact(machine) -> MappingArtifact:
         lp_time=0.0,
         total_time=0.0,
     )
+    mapping = machine.true_conjunctive(include_front_end=include_front_end)
+    if throughput_scale != 1.0:
+        from repro.mapping.conjunctive import ConjunctiveResourceMapping
+
+        mapping = ConjunctiveResourceMapping(
+            {
+                name: throughput_scale * mapping.throughput_of(name)
+                for name in mapping.resources
+            },
+            {ins: mapping.usage_of(ins) for ins in mapping.instructions},
+        )
     return MappingArtifact(
         machine_name=machine.name,
         machine_fingerprint=machine_fingerprint(machine),
-        mapping=machine.true_conjunctive(include_front_end=True),
+        mapping=mapping,
         stats=stats,
     )
 

@@ -1,0 +1,157 @@
+"""Property-based suite for the rendezvous shard map.
+
+The three properties the cluster's routing correctness leans on
+(:mod:`repro.cluster.shard`):
+
+* **deterministic across processes** — scores are pure ``blake2b``
+  digests: the same node table and fingerprint produce the same
+  assignment in this process, in a fresh subprocess with a different
+  ``PYTHONHASHSEED``, and whatever order the node table was written in;
+* **balanced within bounds** — over a fixed corpus of content-hash
+  fingerprints, every node's primary share stays within generous
+  uniformity bounds (no node starves, none is a hotspot);
+* **minimally disturbed** — removing a node reassigns only the
+  fingerprints it owned; adding a node only claims fingerprints for
+  itself.  No unrelated key ever moves.
+
+Like :mod:`test_roundtrip_property`, runs are derandomized so CI cannot
+flake on an unlucky draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.cluster.shard import ShardMap, rendezvous_score  # noqa: E402
+
+#: A fixed, content-derived fingerprint corpus: what registry keys look
+#: like (hex content hashes), deterministic across runs and processes.
+CORPUS = [
+    hashlib.sha256(f"block-{index}".encode()).hexdigest() for index in range(600)
+]
+
+node_ids = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+fingerprints = st.sampled_from(CORPUS)
+
+
+@settings(derandomize=True, max_examples=60, deadline=None)
+@given(nodes=node_ids, fingerprint=fingerprints)
+def test_assignment_deterministic_and_order_insensitive(nodes, fingerprint):
+    """The same node *set* assigns identically, however it was listed."""
+    forward = ShardMap(nodes, replicas=2)
+    reversed_table = ShardMap(list(reversed(nodes)), replicas=2)
+    assert forward.assign(fingerprint) == reversed_table.assign(fingerprint)
+    assert forward.preference(fingerprint) == reversed_table.preference(
+        fingerprint
+    )
+    # Recomputing is pure: no hidden per-instance or per-call state.
+    assert forward.assign(fingerprint) == forward.assign(fingerprint)
+
+
+@settings(derandomize=True, max_examples=60, deadline=None)
+@given(nodes=node_ids, fingerprint=fingerprints)
+def test_preference_is_total_and_assign_is_its_prefix(nodes, fingerprint):
+    shard_map = ShardMap(nodes, replicas=2)
+    preference = shard_map.preference(fingerprint)
+    assert sorted(preference) == sorted(nodes)  # a permutation of the table
+    assignment = shard_map.assign(fingerprint)
+    assert assignment == preference[: shard_map.replicas]
+    assert assignment[0] == shard_map.primary(fingerprint)
+    assert len(set(assignment)) == len(assignment)  # replicas are distinct
+
+
+@settings(derandomize=True, max_examples=25, deadline=None)
+@given(nodes=node_ids)
+def test_primary_shares_balanced_within_bounds(nodes):
+    """Every node serves neither ~zero nor a multiple of its fair share.
+
+    The corpus is fixed (content hashes, like real registry keys) and the
+    bounds are generous — a quarter of the fair share up to 2.5x — so the
+    property pins down "no starvation, no hotspot" without turning the
+    test into a statistical flake.
+    """
+    shard_map = ShardMap(nodes, replicas=1)
+    layout = shard_map.placement(CORPUS)
+    fair = len(CORPUS) / len(nodes)
+    for node_id, owned in layout.items():
+        assert len(owned) >= fair / 4, (node_id, len(owned), fair)
+        assert len(owned) <= fair * 2.5, (node_id, len(owned), fair)
+
+
+@settings(derandomize=True, max_examples=40, deadline=None)
+@given(nodes=node_ids)
+def test_removing_a_node_disturbs_only_its_own_keys(nodes):
+    full = ShardMap(nodes, replicas=1)
+    removed = nodes[0]
+    survivors = ShardMap(nodes[1:], replicas=1) if len(nodes) > 1 else None
+    if survivors is None:
+        return
+    for fingerprint in CORPUS[:120]:
+        before = full.primary(fingerprint)
+        after = survivors.primary(fingerprint)
+        if before != removed:
+            assert after == before, (fingerprint, before, after)
+
+
+@settings(derandomize=True, max_examples=40, deadline=None)
+@given(nodes=node_ids, newcomer=st.text(min_size=1, max_size=12))
+def test_adding_a_node_only_claims_keys_for_itself(nodes, newcomer):
+    hypothesis.assume(newcomer not in nodes)
+    before_map = ShardMap(nodes, replicas=1)
+    after_map = ShardMap(list(nodes) + [newcomer], replicas=1)
+    for fingerprint in CORPUS[:120]:
+        before = before_map.primary(fingerprint)
+        after = after_map.primary(fingerprint)
+        assert after in (before, newcomer), (fingerprint, before, after)
+
+
+def test_scores_identical_in_a_fresh_subprocess():
+    """Cross-process determinism: the property the whole cluster rests on.
+
+    Every coordinator (and restart) must compute the identical shard
+    layout; a different ``PYTHONHASHSEED`` in the child rules out any
+    accidental dependence on Python's randomized ``hash()``.
+    """
+    nodes = ["n0", "n1", "n2", "edge-γ"]
+    sample = CORPUS[:50]
+    local = {
+        fingerprint: ShardMap(nodes, replicas=2).assign(fingerprint)
+        for fingerprint in sample
+    }
+    script = (
+        "import json, sys\n"
+        "from repro.cluster.shard import ShardMap\n"
+        "nodes, sample = json.load(sys.stdin)\n"
+        "print(json.dumps({f: ShardMap(nodes, replicas=2).assign(f)"
+        " for f in sample}))\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps([nodes, sample]),
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+        check=True,
+    )
+    assert json.loads(result.stdout) == local
