@@ -42,7 +42,8 @@ from repro.cluster.shard import ShardMap
 from repro.measure.fingerprint import machine_fingerprint
 from repro.predictors import PalmedPredictor
 
-from conftest import write_json_result, write_result
+from conftest import write_result
+from record import write_bench_record
 from serving_workload import bits, build_corpus, serving_artifact
 
 #: ISA sizes of the four fleet machines.  Chosen so the four fingerprints'
@@ -438,7 +439,7 @@ def test_cluster_throughput_ladder(
         ]
     )
     write_result("cluster_throughput.txt", "\n".join(lines))
-    write_json_result(
+    write_bench_record(
         "BENCH_cluster.json",
         {
             "bench": "cluster_throughput",

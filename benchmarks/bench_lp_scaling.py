@@ -45,7 +45,8 @@ from repro.runtime import ParallelRuntime
 
 import pytest
 
-from conftest import RESULTS_DIR, write_json_result, write_result
+from conftest import RESULTS_DIR, write_result
+from record import write_bench_record
 
 LP_WORKERS = 4
 
@@ -66,7 +67,11 @@ def _update_bench_record(section: str, payload: dict) -> None:
     if path.exists():
         record.update(json.loads(path.read_text(encoding="utf-8")))
     record[section] = payload
-    write_json_result("BENCH_lp.json", record)
+    # Drop the previous write's provenance stamp so this partial re-run is
+    # re-stamped with *its* host and time, not the section it kept.
+    for stale in ("host_cpus", "hostname", "recorded_at"):
+        record.pop(stale, None)
+    write_bench_record("BENCH_lp.json", record)
 
 
 def _lp_bench_config() -> PalmedConfig:

@@ -35,7 +35,8 @@ from repro.predictors import PalmedPredictor, UopsInfoPredictor
 from repro.predictors.batch import SuiteMatrix
 from repro.workloads import generate_spec_like_suite
 
-from conftest import write_json_result, write_result
+from conftest import write_result
+from record import write_bench_record
 
 #: Suite size for the headline predictions/sec numbers (Fig. 4b evaluates
 #: a few thousand blocks per machine/suite pair).
@@ -127,7 +128,7 @@ def test_predict_batch_throughput(serving_predictor, serving_kernels, benchmark)
         f"{n} blocks",
     ]
     write_result("predict_throughput.txt", "\n".join(lines))
-    write_json_result(
+    write_bench_record(
         "BENCH_predict.json",
         {
             "bench": "predict_batch_throughput",

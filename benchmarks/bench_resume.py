@@ -23,7 +23,8 @@ from repro import PortModelBackend, build_toy_machine
 from repro.artifacts import ArtifactRegistry
 from repro.palmed import Palmed, PalmedConfig
 
-from conftest import write_json_result, write_result
+from conftest import write_result
+from record import write_bench_record
 
 #: Simulated per-microbenchmark cost: the real-hardware regime where
 #: benchmarking dominates the wall clock (Table II).
@@ -94,7 +95,7 @@ def test_resume_speedup_report(cold_and_warm, benchmark):
         f"{warm.mapping.to_json() == cold.mapping.to_json()}",
     ]
     write_result("resume_speedup.txt", "\n".join(lines))
-    write_json_result(
+    write_bench_record(
         "BENCH_resume.json",
         {
             "bench": "resume_speedup",

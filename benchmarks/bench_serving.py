@@ -45,7 +45,8 @@ from repro.measure.fingerprint import machine_fingerprint
 from repro.predictors import PalmedPredictor
 from repro.serving import PredictionService
 
-from conftest import write_json_result, write_result
+from conftest import write_result
+from record import write_bench_record
 from serving_workload import (
     BLOCK_DISTINCT,
     CORPUS_BLOCKS,
@@ -279,7 +280,7 @@ def test_serving_throughput_scaling(
         ]
     )
     write_result("serving_throughput.txt", "\n".join(lines))
-    write_json_result(
+    write_bench_record(
         "BENCH_serving.json",
         {
             "bench": "serving_throughput",

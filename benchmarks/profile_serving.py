@@ -53,7 +53,8 @@ from repro.serving.frontend import (
     _parse_blocks,
 )
 
-from conftest import write_json_result, write_result
+from conftest import write_result
+from record import write_bench_record
 from serving_workload import (
     GROUP,
     build_corpus,
@@ -315,7 +316,7 @@ def test_profile_serving(profile_registry, profile_machine, profile_corpus):
         ]
     )
     write_result("profile_serving.txt", "\n".join(lines))
-    write_json_result(
+    write_bench_record(
         "BENCH_profile_serving.json",
         {
             "bench": "profile_serving",

@@ -8,7 +8,8 @@ thin shim for backward compatibility).  Subcommand groups:
 * :mod:`repro.cli.predict` — ``predict``, ``evaluate`` (offline
   consumption of saved artifacts);
 * :mod:`repro.cli.serve` — ``serve`` (the online micro-batching node);
-* :mod:`repro.cli.artifacts_cmd` — ``artifacts`` (registry inventory).
+* :mod:`repro.cli.artifacts_cmd` — ``artifacts`` (registry inventory);
+* :mod:`repro.cli.stats_cmd` — ``stats`` (telemetry-warehouse queries).
 
 Each group module exposes ``register(subparsers)``; this package
 assembles them into the command parser and owns the entry point.
@@ -20,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cli import artifacts_cmd, characterize, predict, serve
+from repro.cli import artifacts_cmd, characterize, predict, serve, stats_cmd
 from repro.cli.characterize import build_legacy_parser, run_characterize
 
 #: Kept name: the legacy flag-only parser (no subcommand).
@@ -38,6 +39,7 @@ def build_command_parser() -> argparse.ArgumentParser:
     predict.register(subparsers)
     serve.register(subparsers)
     artifacts_cmd.register(subparsers)
+    stats_cmd.register(subparsers)
     return parser
 
 

@@ -55,6 +55,14 @@ def add_characterize_arguments(parser: argparse.ArgumentParser) -> None:
         help="persistent measurement-cache file (default: no persistence)",
     )
     parser.add_argument(
+        "--telemetry",
+        metavar="DB",
+        default=None,
+        help="record traced spans and metrics into this sqlite warehouse "
+        "(query with 'python -m repro stats --db DB'); results are "
+        "bitwise-identical with or without it",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -127,6 +135,7 @@ def run_characterize(args: argparse.Namespace) -> int:
         lp_chunk_size=args.lp_chunk_size,
         lp_warm_start=args.lp_warm_start,
         cache_path=args.cache,
+        telemetry=getattr(args, "telemetry", None),
     )
 
     registry = None

@@ -41,11 +41,18 @@ import sys
 
 
 def run_serve(args: argparse.Namespace) -> int:
+    from repro.telemetry import telemetry_session
+
     if getattr(args, "cluster", False):
-        return _run_coordinator(args)
-    if getattr(args, "node", False):
-        return _run_node(args)
-    return _run_standalone(args)
+        kind, runner = "cluster", _run_coordinator
+    elif getattr(args, "node", False):
+        kind, runner = "node", _run_node
+    else:
+        kind, runner = "serve", _run_standalone
+    # A no-op context when --telemetry is absent; otherwise every span
+    # and metric of this server's lifetime lands in one warehouse run.
+    with telemetry_session(getattr(args, "telemetry", None), kind=kind):
+        return runner(args)
 
 
 def _run_standalone(args: argparse.Namespace) -> int:
@@ -256,6 +263,15 @@ def register(subparsers) -> None:
         type=int,
         default=8,
         help="hot-mapping cache capacity in compiled machines (default: 8)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        metavar="DB",
+        default=None,
+        help="record per-flush latency/occupancy metrics and spans into "
+        "this sqlite warehouse for the server's lifetime (query with "
+        "'python -m repro stats --db DB serving'); predictions are "
+        "bitwise-identical with or without it",
     )
     serve.add_argument(
         "--lane-mode",

@@ -1,0 +1,145 @@
+"""``stats``: query the telemetry warehouse (canned reports + raw SQL).
+
+The read side of :mod:`repro.telemetry`: point it at the sqlite file a
+``--telemetry`` run produced and ask questions —
+
+* ``python -m repro stats --db palmed.sqlite runs`` — every recorded run;
+* ``... stats --db palmed.sqlite stages`` — per-stage wall clocks across
+  characterize runs (the paper's Table II attribution, as a query);
+* ``... stats --db palmed.sqlite serving`` — occupancy-weighted serving
+  latency percentiles (p50/p95/p99) and flush occupancy per run;
+* ``... stats --db palmed.sqlite solver`` — solver volume and
+  warm-start hit rates;
+* ``... stats --db palmed.sqlite cluster`` — failover / retry /
+  sync-failure counts;
+* ``... stats --db palmed.sqlite bench [--like PAT]`` — the committed
+  ``BENCH_*.json`` perf trajectory (after ``--ingest``);
+* ``... stats --db palmed.sqlite --sql 'SELECT ...'`` — anything else.
+
+``--ingest DIR`` (re-)loads every ``BENCH_*.json`` under DIR into the
+``bench_records`` table first (idempotent per file).  Output is a text
+table by default, one JSON object with ``columns``/``rows`` under
+``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Sequence, Tuple
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Tuple]) -> str:
+    """Render a query result as an aligned text table."""
+    def cell(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    table: List[List[str]] = [[str(c) for c in columns]]
+    table.extend([cell(value) for value in row] for row in rows)
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def run_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import Warehouse
+    from repro.telemetry.queries import CANNED, bench_trajectory
+
+    if args.report is None and args.sql is None and args.ingest is None:
+        print(
+            "error: pick a report (" + ", ".join(sorted(CANNED)) + "), "
+            "--sql QUERY, or --ingest DIR",
+            file=sys.stderr,
+        )
+        return 2
+
+    with Warehouse(args.db) as warehouse:
+        if args.ingest is not None:
+            ingested = warehouse.ingest_bench_dir(args.ingest)
+            total = sum(ingested.values())
+            print(
+                f"ingested {total} record(s) from {len(ingested)} "
+                f"bench file(s) in {args.ingest}",
+                file=sys.stderr,
+            )
+            if args.report is None and args.sql is None:
+                return 0 if ingested else 1
+
+        if args.sql is not None:
+            columns, rows = warehouse.query(args.sql)
+        elif args.report == "bench":
+            columns, rows = bench_trajectory(warehouse, like=args.like)
+        else:
+            runner, _ = CANNED[args.report]
+            columns, rows = runner(warehouse)
+
+    if args.json:
+        json.dump({"columns": list(columns), "rows": [list(r) for r in rows]},
+                  sys.stdout)
+        print()
+    else:
+        print(format_table(columns, rows))
+    return 0
+
+
+def register(subparsers) -> None:
+    """Attach the ``stats`` subcommand."""
+    from repro.telemetry.queries import CANNED
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="query a telemetry warehouse produced by --telemetry runs",
+    )
+    stats.add_argument(
+        "--db",
+        metavar="PATH",
+        required=True,
+        help="the warehouse sqlite file (created by --telemetry runs; "
+        "created empty here if missing)",
+    )
+    stats.add_argument(
+        "report",
+        nargs="?",
+        choices=sorted(CANNED),
+        default=None,
+        help="canned report: "
+        + "; ".join(f"{name} = {help_}" for name, (_, help_) in sorted(CANNED.items())),
+    )
+    stats.add_argument(
+        "--sql",
+        metavar="QUERY",
+        default=None,
+        help="run this SQL instead of a canned report (read-only use "
+        "intended; tables: runs, spans, metrics, bench_records)",
+    )
+    stats.add_argument(
+        "--ingest",
+        metavar="DIR",
+        default=None,
+        help="first (re-)ingest every BENCH_*.json under DIR into "
+        "bench_records (idempotent; exit 1 if DIR holds none)",
+    )
+    stats.add_argument(
+        "--like",
+        metavar="PAT",
+        default="%",
+        help="(bench report) SQL LIKE filter on the metric path",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {columns, rows} JSON instead of a text table",
+    )
+    stats.set_defaults(handler=run_stats)

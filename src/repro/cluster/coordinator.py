@@ -60,6 +60,7 @@ from repro.cluster.stats import ClusterStats
 from repro.serving.errors import InvalidRequestError
 from repro.serving.frontend import BinaryServingClient
 from repro.serving.stats import ServingStats
+from repro.telemetry import TRACER
 
 #: Error types a node answers that no replica would answer differently —
 #: malformed requests and unknown machine names pass through to the
@@ -518,37 +519,50 @@ class ClusterCoordinator:
         replace the previous admission signal atomically per node.
         """
         fleet: Dict[str, Dict[str, object]] = {}
-        for node_id in self.nodes:
-            try:
-                response = self._request_node(node_id, {"op": "health"})
-            except NodeUnavailableError as error:
-                fleet[node_id] = {"status": "unreachable", "error": str(error)}
-                continue
-            report = response.get("health")
-            if isinstance(report, dict):
-                fleet[node_id] = report
-                with self._lock:
-                    self._health[node_id] = report
-            else:
-                fleet[node_id] = {"status": "invalid", "response": response}
-        self.stats.record_health_poll()
+        with TRACER.span("cluster.poll_health", nodes=len(self.nodes)) as span:
+            for node_id in self.nodes:
+                try:
+                    response = self._request_node(node_id, {"op": "health"})
+                except NodeUnavailableError as error:
+                    fleet[node_id] = {
+                        "status": "unreachable", "error": str(error)
+                    }
+                    continue
+                report = response.get("health")
+                if isinstance(report, dict):
+                    fleet[node_id] = report
+                    with self._lock:
+                        self._health[node_id] = report
+                else:
+                    fleet[node_id] = {"status": "invalid", "response": response}
+            self.stats.record_health_poll()
+            span.set(
+                unreachable=sum(
+                    1
+                    for report in fleet.values()
+                    if report.get("status") == "unreachable"
+                )
+            )
         return fleet
 
     def broadcast_republish(self) -> Dict[str, Dict[str, object]]:
         """Tell every node to hot-swap changed mappings; per-node outcome."""
         outcome: Dict[str, Dict[str, object]] = {}
-        for node_id in self.nodes:
-            try:
-                response = self._request_node(node_id, {"op": "republish"})
-            except NodeUnavailableError as error:
-                outcome[node_id] = {"ok": False, "error": str(error)}
-                continue
-            outcome[node_id] = {
-                "ok": bool(response.get("ok")),
-                "swapped": response.get("swapped", {}),
-                "failed": response.get("failed", {}),
-            }
-        self.stats.record_republish_broadcast()
+        with TRACER.span(
+            "cluster.broadcast_republish", nodes=len(self.nodes)
+        ):
+            for node_id in self.nodes:
+                try:
+                    response = self._request_node(node_id, {"op": "republish"})
+                except NodeUnavailableError as error:
+                    outcome[node_id] = {"ok": False, "error": str(error)}
+                    continue
+                outcome[node_id] = {
+                    "ok": bool(response.get("ok")),
+                    "swapped": response.get("swapped", {}),
+                    "failed": response.get("failed", {}),
+                }
+            self.stats.record_republish_broadcast()
         return outcome
 
     def fleet_stats(self) -> Dict[str, object]:

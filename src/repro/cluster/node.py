@@ -23,13 +23,17 @@ stack:
 The watcher treats sync failures as loud-but-survivable: a corrupted
 copy raises inside :func:`replicate_registry` *before* installation, the
 replica keeps its previous artifacts, the error is recorded on
-:attr:`ClusterNode.last_sync_error`, and the node keeps serving the old
+:attr:`ClusterNode.last_sync_error`, **logged**, and counted in the
+service's :class:`~repro.serving.stats.ServingStats`
+(``replica_sync_failures`` — visible in the stats op, the shutdown
+table, and ``repro stats cluster``); the node keeps serving the old
 version — consistent with the registry's "degrade loudly, never into an
 outage" refusal philosophy.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -38,6 +42,9 @@ from repro.cluster.failpoints import FAILPOINTS, Failpoints
 from repro.cluster.sync import SyncReport, load_replica, replicate_registry
 from repro.serving.frontend import LineProtocolServer
 from repro.serving.service import PredictionService
+from repro.telemetry import TRACER
+
+logger = logging.getLogger(__name__)
 
 
 class ClusterNode:
@@ -93,9 +100,16 @@ class ClusterNode:
     # -- replication -----------------------------------------------------------
     def sync(self) -> SyncReport:
         """Bring the replica up to date; raises on a validation failure."""
-        return replicate_registry(
-            self.source, self.replica_dir, failpoints=self.failpoints
-        )
+        if not TRACER.enabled:
+            return replicate_registry(
+                self.source, self.replica_dir, failpoints=self.failpoints
+            )
+        with TRACER.span("cluster.sync", node=self.node_id) as span:
+            report = replicate_registry(
+                self.source, self.replica_dir, failpoints=self.failpoints
+            )
+            span.set(changed=bool(report.changed))
+            return report
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> "ClusterNode":
@@ -202,12 +216,36 @@ class ClusterNode:
 
     # -- the republish watcher -------------------------------------------------
     def _watch(self) -> None:
-        """Poll the source registry; hot-swap when a sync changed anything."""
+        """Poll the source registry; hot-swap when a sync changed anything.
+
+        A failing sync never kills the watcher: the error is kept on
+        :attr:`last_sync_error`, logged, counted in the service's
+        ``replica_sync_failures`` and (when tracing) emitted as a
+        ``cluster.sync_failure`` metric — then the next poll tries again
+        while the node keeps serving its previous replica.
+        """
         while not self._watcher_stop.wait(self.republish_poll_s):
             try:
                 report = self.sync()
             except Exception as error:  # noqa: BLE001 - keep serving old data
                 self.last_sync_error = error
+                logger.warning(
+                    "node %s: replica sync from %s failed (serving the "
+                    "previous replica): %s: %s",
+                    self.node_id,
+                    self.source,
+                    type(error).__name__,
+                    error,
+                )
+                if self.service is not None:
+                    self.service.stats.record_sync_failure()
+                if TRACER.enabled:
+                    TRACER.metric(
+                        "cluster.sync_failure",
+                        1,
+                        node=self.node_id,
+                        error=type(error).__name__,
+                    )
                 continue
             self.last_sync_error = None
             if report.changed and self.service is not None:

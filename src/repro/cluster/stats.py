@@ -23,6 +23,8 @@ from __future__ import annotations
 import threading
 from typing import Dict
 
+from repro.telemetry import TRACER
+
 
 class ClusterStats:
     """Thread-safe routing/failover counters for one coordinator."""
@@ -60,16 +62,22 @@ class ClusterStats:
     def record_retry(self, node_id: str) -> None:
         with self._lock:
             self.retries += 1
+        if TRACER.enabled:
+            TRACER.metric("cluster.retry", 1, node=node_id)
 
     def record_node_failure(self, node_id: str) -> None:
         with self._lock:
             self.failures_by_node[node_id] = (
                 self.failures_by_node.get(node_id, 0) + 1
             )
+        if TRACER.enabled:
+            TRACER.metric("cluster.node_failure", 1, node=node_id)
 
     def record_failover(self) -> None:
         with self._lock:
             self.failovers += 1
+        if TRACER.enabled:
+            TRACER.metric("cluster.failover", 1)
 
     def record_refused_upstream(self) -> None:
         with self._lock:

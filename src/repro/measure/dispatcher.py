@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 
 from repro.mapping.microkernel import Microkernel
 from repro.runtime import ParallelRuntime
+from repro.telemetry import TRACER
 
 
 def _backend_measure(backend, kernels: Sequence[Microkernel]) -> List[float]:
@@ -73,7 +74,13 @@ class ParallelDispatcher(ParallelRuntime):
         Exceptions raised by the backend (e.g. an unknown instruction)
         propagate to the caller, as in the sequential path.
         """
-        return self.run(_backend_measure, list(kernels), context=backend)
+        kernels = list(kernels)
+        if not TRACER.enabled:
+            return self.run(_backend_measure, kernels, context=backend)
+        with TRACER.span(
+            "measure.batch", kernels=len(kernels), workers=self.workers
+        ):
+            return self.run(_backend_measure, kernels, context=backend)
 
     def measure_safe(
         self, backend, kernels: Sequence[Microkernel]
@@ -84,7 +91,13 @@ class ParallelDispatcher(ParallelRuntime):
         converted to ``None``, mirroring the evaluation harness's historical
         skip semantics; other errors propagate.
         """
-        return self.run(_measure_chunk_safe, list(kernels), context=backend)
+        kernels = list(kernels)
+        if not TRACER.enabled:
+            return self.run(_measure_chunk_safe, kernels, context=backend)
+        with TRACER.span(
+            "measure.batch", kernels=len(kernels), workers=self.workers, safe=True
+        ):
+            return self.run(_measure_chunk_safe, kernels, context=backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelDispatcher(workers={self.workers}, chunk_size={self.chunk_size})"

@@ -116,6 +116,15 @@ class PalmedConfig:
         (:class:`repro.measure.MeasurementCache`).  ``None`` disables
         persistence; repeated runs with the same machine model and noise
         configuration then re-measure every kernel.
+    telemetry:
+        Optional path of a telemetry warehouse (sqlite) to record this
+        run into (:mod:`repro.telemetry`).  ``None`` (the default) keeps
+        the tracer disabled: hot-path hooks cost one attribute check and
+        nothing is written.  Telemetry is observational only — spans and
+        metrics are run-local wall clocks, never hashed into stage
+        checkpoints (this field is not part of any stage's declared
+        config fields) and never able to change results: a telemetry-on
+        run is bitwise-identical to a telemetry-off run.
     """
 
     n_basic: Optional[int] = None
@@ -143,6 +152,7 @@ class PalmedConfig:
     lp_chunk_size: Optional[int] = None
     lp_warm_start: bool = True
     cache_path: Optional[str] = None
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 0:

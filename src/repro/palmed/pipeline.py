@@ -114,7 +114,9 @@ class Palmed:
         :class:`repro.pipeline.PipelineInterrupted`) — the crash-injection
         hook of the resume test-suite.
         """
+        from repro.measure.fingerprint import backend_fingerprint
         from repro.pipeline import StageContext, StageGraph, palmed_stages
+        from repro.telemetry import TRACER, telemetry_session
 
         context = StageContext(
             runner=self.runner,
@@ -123,29 +125,53 @@ class Palmed:
             machine_name=self.machine_name,
         )
         graph = StageGraph(palmed_stages())
-        run = graph.run(
-            context,
-            registry=self.registry,
-            resume=self.resume,
-            force=self.force_stages,
-            stop_after=stop_after,
-        )
-        self.last_run = run
+        # The session is a no-op when ``config.telemetry`` is unset, and
+        # yields ``None`` (without double-recording) when an outer CLI
+        # session already owns the tracer.  Telemetry never feeds back
+        # into results: everything recorded is run-local wall clocks.
+        with telemetry_session(
+            self.config.telemetry,
+            kind="characterize",
+            machine_name=self.machine_name,
+            machine_fingerprint=backend_fingerprint(self.backend),
+        ):
+            run = graph.run(
+                context,
+                registry=self.registry,
+                resume=self.resume,
+                force=self.force_stages,
+                stop_after=stop_after,
+            )
+            self.last_run = run
 
-        final = run.outputs["finalize"]
-        stats = final.stats
-        # Per-run accounting: which stages this particular execution served
-        # from checkpoints, and every stage's canonical wall clock.  Both
-        # are run-local (excluded from the deterministic view).
-        stats.stage_wall_clock = {
-            name: record.wall_time for name, record in run.records.items()
-        }
-        stats.stage_checkpoint_hits = dict(run.checkpoint_hits)
+            final = run.outputs["finalize"]
+            stats = final.stats
+            # Per-run accounting: which stages this particular execution
+            # served from checkpoints, and every stage's canonical wall
+            # clock.  Both are run-local (excluded from the deterministic
+            # view).
+            stats.stage_wall_clock = {
+                name: record.wall_time for name, record in run.records.items()
+            }
+            stats.stage_checkpoint_hits = dict(run.checkpoint_hits)
 
-        # Persist whatever was measured, so the next run (another ablation,
-        # the evaluation harness, a re-run with different LP settings) can
-        # skip every benchmark measured here.
-        self.runner.flush_cache()
+            # Persist whatever was measured, so the next run (another
+            # ablation, the evaluation harness, a re-run with different LP
+            # settings) can skip every benchmark measured here.
+            self.runner.flush_cache()
+
+            if TRACER.enabled:
+                # End-of-run summary metrics mirroring the deterministic
+                # solver counters, so warm-hit rates are queryable
+                # (``repro stats solver``) next to the traced spans.
+                TRACER.metric("solver.solves", stats.lp_solves)
+                TRACER.metric("solver.warm_start_hits", stats.lp_warm_start_hits)
+                TRACER.metric("solver.model_builds", stats.lp_model_builds)
+                TRACER.metric("solver.chunks", stats.lp_chunks)
+                TRACER.metric("solver.lp_time_s", stats.lp_time)
+                TRACER.metric(
+                    "pipeline.benchmarking_time_s", stats.benchmarking_time
+                )
 
         core = run.outputs["core"]
         saturating = {

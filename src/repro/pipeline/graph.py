@@ -33,6 +33,7 @@ from repro.pipeline.stage import (
     StageContext,
     StageRecord,
 )
+from repro.telemetry import TRACER
 
 
 def format_columns(rows: Sequence[Sequence[str]]) -> List[str]:
@@ -203,47 +204,57 @@ class StageGraph:
                 input_hash = stage.input_hash(context, fingerprint, upstream_hashes)
 
             restored = False
-            if (
-                registry is not None
-                and resume
-                and stage.name not in force
-                and registry.has_stage(fingerprint, stage.name, input_hash)
-            ):
-                checkpoint = registry.load_stage(fingerprint, stage.name, input_hash)
-                output = stage.deserialize(checkpoint.payload, context)
-                stage.warm_runner(output, context)
-                record = StageRecord.from_dict(checkpoint.record)
-                output_hash = checkpoint.output_hash
-                restored = True
-            else:
-                runner = context.runner
-                before = (
-                    runner.num_benchmarks,
-                    runner.num_benchmarks_measured,
-                    runner.num_benchmarks_cached,
-                )
-                output = stage.run(context, inputs)
-                record = StageRecord(
-                    stage=stage.name,
-                    wall_time=time.monotonic() - started,
-                    num_benchmarks=runner.num_benchmarks - before[0],
-                    num_benchmarks_measured=runner.num_benchmarks_measured - before[1],
-                    num_benchmarks_cached=runner.num_benchmarks_cached - before[2],
-                )
-                output_hash = None
-                if registry is not None:
-                    payload = stage.serialize(output)
-                    output_hash = payload_hash(payload)
-                    registry.save_stage(
-                        StageCheckpoint(
-                            stage=stage.name,
-                            machine_fingerprint=fingerprint,
-                            input_hash=input_hash,
-                            output_hash=output_hash,
-                            payload=payload,
-                            record=record.to_dict(),
-                        )
+            with TRACER.span(f"stage:{stage.name}") as span:
+                if (
+                    registry is not None
+                    and resume
+                    and stage.name not in force
+                    and registry.has_stage(fingerprint, stage.name, input_hash)
+                ):
+                    checkpoint = registry.load_stage(
+                        fingerprint, stage.name, input_hash
                     )
+                    output = stage.deserialize(checkpoint.payload, context)
+                    stage.warm_runner(output, context)
+                    record = StageRecord.from_dict(checkpoint.record)
+                    output_hash = checkpoint.output_hash
+                    restored = True
+                else:
+                    runner = context.runner
+                    before = (
+                        runner.num_benchmarks,
+                        runner.num_benchmarks_measured,
+                        runner.num_benchmarks_cached,
+                    )
+                    output = stage.run(context, inputs)
+                    record = StageRecord(
+                        stage=stage.name,
+                        wall_time=time.monotonic() - started,
+                        num_benchmarks=runner.num_benchmarks - before[0],
+                        num_benchmarks_measured=runner.num_benchmarks_measured
+                        - before[1],
+                        num_benchmarks_cached=runner.num_benchmarks_cached
+                        - before[2],
+                    )
+                    output_hash = None
+                    if registry is not None:
+                        payload = stage.serialize(output)
+                        output_hash = payload_hash(payload)
+                        registry.save_stage(
+                            StageCheckpoint(
+                                stage=stage.name,
+                                machine_fingerprint=fingerprint,
+                                input_hash=input_hash,
+                                output_hash=output_hash,
+                                payload=payload,
+                                record=record.to_dict(),
+                            )
+                        )
+                span.set(
+                    status="checkpoint" if restored else "ran",
+                    wall_s=record.wall_time,
+                    benchmarks=record.num_benchmarks,
+                )
 
             run.outputs[stage.name] = output
             context.records[stage.name] = record

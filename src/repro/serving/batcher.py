@@ -55,6 +55,7 @@ from repro.serving.errors import (
     ServingError,
 )
 from repro.serving.stats import ServingStats
+from repro.telemetry import TRACER
 
 
 class _Entry:
@@ -354,6 +355,19 @@ class MicroBatcher:
             )
             if resolve_s > 0.0:
                 self.stats.record_flush_phases(resolve=resolve_s)
+            if TRACER.enabled:
+                # One telemetry sample per *flush*, never per request: the
+                # batch's mean per-kernel latency (ms) with its occupancy
+                # in the labels, so the warehouse can compute
+                # occupancy-weighted latency percentiles.
+                TRACER.metric(
+                    "serving.flush",
+                    (latency_total / kernels) * 1e3 if kernels else 0.0,
+                    lane=self.label,
+                    kernels=kernels,
+                    failed=failed,
+                    max_ms=latency_max * 1e3,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

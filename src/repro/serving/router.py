@@ -57,6 +57,7 @@ from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import CompiledMapping, HotMappingCache
 from repro.serving.errors import ServiceClosedError, UnknownMachineError
 from repro.serving.stats import ServingStats
+from repro.telemetry import TRACER
 
 
 def _process_lane_worker(context):
@@ -189,6 +190,10 @@ class MachineRouter:
                 self._lanes[fingerprint] = lane
                 if self._started:
                     lane.start()
+                if TRACER.enabled:
+                    TRACER.metric(
+                        "serving.lane_created", 1, fingerprint=fingerprint
+                    )
             return lane
 
     def compiled(self, fingerprint: str) -> CompiledMapping:
@@ -212,21 +217,24 @@ class MachineRouter:
         registry's typed error when the changed file fails validation —
         the old version keeps serving.
         """
-        compiled = self.cache.refresh(fingerprint)
-        if compiled is None:
-            return None
-        lane = self._lanes.get(fingerprint)
-        pending = lane.pending if lane is not None else 0
-        with self._swap_lock(fingerprint):
-            with self._lock:
-                retired = self._process_lanes.pop(fingerprint, None)
-                # A recycled fingerprint gets a fresh chance to spawn: the
-                # republished artifact may be servable by a worker even if
-                # an earlier spawn failed.
-                self._process_degraded.discard(fingerprint)
-            if retired is not None:
-                retired.stop()
-        self.stats.record_republish(pending)
+        with TRACER.span("serving.republish", fingerprint=fingerprint) as span:
+            compiled = self.cache.refresh(fingerprint)
+            if compiled is None:
+                span.set(swapped=False)
+                return None
+            lane = self._lanes.get(fingerprint)
+            pending = lane.pending if lane is not None else 0
+            with self._swap_lock(fingerprint):
+                with self._lock:
+                    retired = self._process_lanes.pop(fingerprint, None)
+                    # A recycled fingerprint gets a fresh chance to spawn:
+                    # the republished artifact may be servable by a worker
+                    # even if an earlier spawn failed.
+                    self._process_degraded.discard(fingerprint)
+                if retired is not None:
+                    retired.stop()
+            self.stats.record_republish(pending)
+            span.set(swapped=True, drain_pending=pending)
         return compiled
 
     def _processor(self, fingerprint: str):

@@ -40,6 +40,7 @@ from repro.serving.cache import CompiledMapping, KernelLoweringCache
 from repro.serving.errors import InvalidRequestError
 from repro.serving.router import MachineRouter
 from repro.serving.stats import ServingStats
+from repro.telemetry import TRACER
 
 
 class PredictionService:
@@ -222,14 +223,16 @@ class PredictionService:
         """
         swapped = {}
         failed = {}
-        for fingerprint in self.router.cache.resident_fingerprints():
-            try:
-                compiled = self.router.republish(fingerprint)
-            except Exception as error:  # noqa: BLE001 - typed per fingerprint
-                failed[fingerprint] = f"{type(error).__name__}: {error}"
-                continue
-            if compiled is not None:
-                swapped[fingerprint] = compiled.version
+        with TRACER.span("service.republish") as span:
+            for fingerprint in self.router.cache.resident_fingerprints():
+                try:
+                    compiled = self.router.republish(fingerprint)
+                except Exception as error:  # noqa: BLE001 - typed per fingerprint
+                    failed[fingerprint] = f"{type(error).__name__}: {error}"
+                    continue
+                if compiled is not None:
+                    swapped[fingerprint] = compiled.version
+            span.set(swapped=len(swapped), failed=len(failed))
         return {"swapped": swapped, "failed": failed}
 
     def health(self) -> dict:

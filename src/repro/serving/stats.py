@@ -71,6 +71,10 @@ class ServingStats:
         # mapping at the moment of the swap)
         self.mapping_republishes = 0
         self.republish_pending_peak = 0
+        # replica maintenance: sync attempts the republish watcher (or an
+        # explicit republish op) failed — a wedged watcher shows up here
+        # instead of dying silently
+        self.replica_sync_failures = 0
         # per-machine routed request counts, keyed by fingerprint
         self.requests_by_fingerprint: Dict[str, int] = {}
 
@@ -170,6 +174,11 @@ class ServingStats:
             self.mapping_republishes += 1
             self.republish_pending_peak = max(self.republish_pending_peak, pending)
 
+    def record_sync_failure(self) -> None:
+        """One failed replica sync (watcher poll or explicit republish)."""
+        with self._lock:
+            self.replica_sync_failures += 1
+
     # -- aggregation ---------------------------------------------------------
     def merge(self, other: "ServingStats") -> "ServingStats":
         """Accumulate another node's record into this one (returns ``self``).
@@ -222,6 +231,7 @@ class ServingStats:
             ),
             "mapping_republishes": int(snapshot.get("mapping_republishes", 0)),
             "republish_pending_peak": int(snapshot.get("republish_pending_peak", 0)),
+            "replica_sync_failures": int(snapshot.get("replica_sync_failures", 0)),
             "requests_by_fingerprint": dict(
                 snapshot.get("requests_by_fingerprint", {})
             ),
@@ -255,6 +265,7 @@ class ServingStats:
             "lowering_cache_evictions": self.lowering_cache_evictions,
             "mapping_republishes": self.mapping_republishes,
             "republish_pending_peak": self.republish_pending_peak,
+            "replica_sync_failures": self.replica_sync_failures,
             "requests_by_fingerprint": dict(self.requests_by_fingerprint),
         }
 
@@ -329,6 +340,7 @@ class ServingStats:
                 ),
                 "mapping_republishes": self.mapping_republishes,
                 "republish_pending_peak": self.republish_pending_peak,
+                "replica_sync_failures": self.replica_sync_failures,
                 "requests_by_fingerprint": dict(self.requests_by_fingerprint),
             }
 
@@ -355,6 +367,7 @@ class ServingStats:
             ("Mapping republishes",
              f"{snap['mapping_republishes']} "
              f"(drain peak {snap['republish_pending_peak']})"),
+            ("Replica sync failures", f"{snap['replica_sync_failures']}"),
             ("Machines served", f"{len(snap['requests_by_fingerprint'])}"),
         )
         width = max(len(label) for label, _ in rows)

@@ -51,6 +51,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.solvers import stats as solver_stats
+from repro.telemetry import TRACER
 from repro.solvers.status import (
     InfeasibleError,
     SolverError,
@@ -98,7 +99,16 @@ def solve_milp_arrays(
         bounds=optimize.Bounds(lb=lb, ub=ub),
         options=options or None,
     )
-    solver_stats.record_solve(time.monotonic() - start)
+    solve_s = time.monotonic() - start
+    solver_stats.record_solve(solve_s)
+    if TRACER.enabled:
+        TRACER.metric(
+            "solver.backend_solve_s",
+            solve_s,
+            model=name,
+            columns=int(c.shape[0]),
+            status=int(result.status),
+        )
 
     status = map_status(result.status)
     if status is SolveStatus.INFEASIBLE:

@@ -38,6 +38,7 @@ from scipy import sparse
 
 from repro.solvers import stats as solver_stats
 from repro.solvers.builder import solve_milp_arrays
+from repro.telemetry import TRACER
 from repro.solvers.status import (
     InfeasibleError,
     SolverError,
@@ -441,6 +442,22 @@ class Model:
         if n == 0:
             return Solution(SolveStatus.OPTIMAL, self._objective.expr.constant, {})
 
+        if not TRACER.enabled:
+            return self._solve_traced(time_limit, mip_rel_gap, n)
+        with TRACER.span(
+            "solver.model_solve",
+            model=self.name,
+            variables=n,
+            constraints=len(self._constraints),
+        ):
+            return self._solve_traced(time_limit, mip_rel_gap, n)
+
+    def _solve_traced(
+        self,
+        time_limit: Optional[float],
+        mip_rel_gap: Optional[float],
+        n: int,
+    ) -> Solution:
         # The expression-based front-end re-assembles its matrices on every
         # solve: account that as one model build (hot paths that want
         # builds < solves use ModelBuilder/ModelTemplate instead).

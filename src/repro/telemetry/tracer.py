@@ -1,0 +1,189 @@
+"""Hierarchical span tracing: the run-local half of the telemetry layer.
+
+A :class:`Tracer` emits two kinds of records into a sink (normally the
+batched sqlite writer of :mod:`repro.telemetry.warehouse`):
+
+* **spans** — named intervals with a monotonic-clock start offset, a
+  duration, a parent span id and structured attributes.  Spans nest: the
+  tracer keeps a per-thread stack, so a ``measure.batch`` span opened
+  inside a ``stage:quadratic`` span records that stage as its parent and
+  the warehouse can reconstruct the tree.
+* **metrics** — named point samples (a per-flush serving latency, one
+  backend solve's wall clock) with a timestamp and JSON labels.
+
+Determinism contract
+--------------------
+Tracing is observational only.  Spans and metrics are *run-local*: they
+carry wall clocks and host facts, they are never hashed into stage
+checkpoints or artifact identities, and no hook may influence control
+flow.  The differential suite (``tests/test_telemetry.py``) pins down
+that a telemetry-on run produces bitwise-identical mappings, predictions
+and deterministic counters to a telemetry-off run.
+
+Overhead contract
+-----------------
+The process-global tracer is **disabled by default** and every hook in a
+hot path is guarded by a single attribute check (``if TRACER.enabled:``),
+so the disabled cost is one pointer load and branch per *batch-level*
+event (never per request).  When enabled, finishing a span or metric is
+one non-blocking bounded-queue put; a full queue drops the record and
+counts the drop (:attr:`repro.telemetry.warehouse.TelemetryWriter.dropped`)
+rather than ever blocking the hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, Optional
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live traced interval; finishes (and emits) on context exit."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start_s", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = time.monotonic()
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) structured attributes before the span ends."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self.start_s
+        self._tracer._pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._emit_span(self, duration)
+        return False
+
+
+class Tracer:
+    """Process-wide span/metric source; off until a sink is attached.
+
+    The sink is anything with ``emit_span(name, span_id, parent_id,
+    start_s, duration_s, attrs)`` and ``emit_metric(name, t_s, value,
+    labels)`` — in practice a
+    :class:`~repro.telemetry.warehouse.TelemetryWriter`, whose emit
+    methods are non-blocking bounded-queue puts.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sink = None
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- activation ----------------------------------------------------------
+    def activate(self, sink) -> bool:
+        """Attach a sink and start tracing.
+
+        Returns ``False`` (and changes nothing) when the tracer is already
+        active: the outermost session wins, so a CLI session wrapping a
+        ``Palmed`` run whose config *also* names a warehouse does not
+        double-record.
+        """
+        with self._lock:
+            if self.enabled:
+                return False
+            self._sink = sink
+            self._ids = itertools.count(1)
+            self.enabled = True
+            return True
+
+    def deactivate(self) -> None:
+        """Stop tracing and detach the sink (idempotent)."""
+        with self._lock:
+            self.enabled = False
+            self._sink = None
+
+    # -- the hot-path API ----------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a traced interval (use as a context manager).
+
+        While disabled this returns a shared no-op object, so call sites
+        may use ``with TRACER.span(...)`` unconditionally; hot paths that
+        want to skip even the keyword-dict construction guard the call
+        with ``if TRACER.enabled:`` instead.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, next(self._ids), self._current(), attrs)
+
+    def metric(self, name: str, value: float, **labels) -> None:
+        """Record one point sample (no-op while disabled)."""
+        sink = self._sink
+        if sink is not None:
+            sink.emit_metric(name, time.monotonic(), float(value), labels)
+
+    # -- parent bookkeeping (per thread) -------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _emit_span(self, span: Span, duration_s: float) -> None:
+        sink = self._sink
+        if sink is not None:
+            sink.emit_span(
+                span.name,
+                span.span_id,
+                span.parent_id,
+                span.start_s,
+                duration_s,
+                span.attrs,
+            )
+
+
+#: The process-global tracer every hook point records into.
+TRACER = Tracer()
